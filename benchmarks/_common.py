@@ -1,0 +1,67 @@
+"""Shared helpers for the reproduction benches.
+
+Each bench regenerates one table or figure of the paper, prints the
+rendered rows/series, saves them under ``benchmarks/results/``, and
+asserts the qualitative shape the paper reports (who wins, by roughly
+what factor, where the crossovers fall).
+
+Set ``REPRO_BENCH_QUICK=1`` to run reduced topology suites (useful on
+slow machines); the full suites match the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+from repro.topology import table1_suite, table1_topology
+from repro.topology.spec import TopologySpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def quick() -> bool:
+    """Whether the reduced suites were requested."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def bench_suite() -> List[TopologySpec]:
+    """The Table 1 suite (or a 5-topology subset in quick mode)."""
+    if quick():
+        return [
+            table1_topology(name)
+            for name in ("3x3 mesh", "3x3 torus", "4x4 mesh",
+                         "4-port 3-tree", "8-port 2-tree")
+        ]
+    return table1_suite()
+
+
+def seeds() -> range:
+    """Seeds per (topology, algorithm) pair."""
+    return range(1 if quick() else 2)
+
+
+def save(name: str, text: str) -> None:
+    """Persist a rendered artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    print(f"\n[saved to {path}]")
+
+
+def save_json(name: str, data) -> None:
+    """Persist an artifact's raw data for downstream plotting."""
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(data, indent=2, default=str) + "\n")
+    print(f"[data saved to {path}]")
+
+
+def series_dict(series) -> dict:
+    """Convert [(x, y), ...] series mapping to {x: y} per name."""
+    return {name: dict(points) for name, points in series.items()}

@@ -1,0 +1,108 @@
+"""Availability machinery (paper section 2) — election and failover.
+
+Not a numbered figure in the paper, but section 2 defines the
+behaviours: "after the fabric is powered up, a distributed process is
+triggered in order to select primary and secondary fabric managers...
+If the primary FM fails, the secondary one takes over."  This bench
+quantifies both over increasing fabric sizes:
+
+* election: flood traffic and whether all endpoints reach consensus;
+* failover: detection latency (missed heartbeats) plus the secondary's
+  rediscovery time — which is just one more discovery, so it scales
+  exactly like Fig. 6.
+"""
+
+from _common import quick, save
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.manager import (
+    PARALLEL,
+    Election,
+    FabricManager,
+    StandbyManager,
+)
+from repro.routing.paths import fabric_route
+from repro.topology import table1_topology
+
+
+def _election(spec):
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    election = Election(setup.entities, seed=5)
+    result = setup.env.run(until=election.run())
+    flood_packets = sum(
+        entity.stats["multicast_sent"]
+        for entity in setup.entities.values()
+    )
+    return result, flood_packets
+
+
+def _failover(spec):
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    setup.fm.start_discovery()
+    run_until_ready(setup)
+
+    standby_host = sorted(
+        ep for ep in spec.endpoints if ep != spec.fm_host
+    )[-1]
+    standby_fm = FabricManager(
+        setup.fabric.device(standby_host),
+        setup.entities[standby_host],
+        algorithm=PARALLEL, auto_start=False,
+        request_timeout=0.5e-3, max_retries=0,
+    )
+    standby = StandbyManager(
+        standby_fm,
+        primary_route=fabric_route(setup.fabric, standby_host,
+                                   spec.fm_host),
+        heartbeat_interval=2e-3, miss_threshold=3,
+    )
+    standby.start()
+    setup.env.run(until=setup.env.now + 10e-3)
+
+    failed_at = setup.env.now
+    setup.fabric.remove_device(setup.fm.endpoint.name)
+    report = setup.env.run(until=standby.takeover_event)
+    detection = report.detected_at - failed_at
+    return detection, report.recovery_time
+
+
+def _run():
+    names = ("3x3 mesh", "4x4 mesh") if quick() else (
+        "3x3 mesh", "4x4 mesh", "6x6 mesh", "8x8 mesh",
+    )
+    rows = []
+    for name in names:
+        spec = table1_topology(name)
+        result, flood = _election(spec)
+        detection, recovery = _failover(spec)
+        rows.append({
+            "topology": name,
+            "devices": spec.total_devices,
+            "consensus": result.consensus,
+            "flood_packets": flood,
+            "detection": detection,
+            "recovery": recovery,
+        })
+    return rows
+
+
+def test_availability(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_table(
+        ["Topology", "Devices", "Consensus", "Flood pkts",
+         "detect fail (s)", "rediscover (s)"],
+        [[r["topology"], r["devices"], r["consensus"], r["flood_packets"],
+          r["detection"], r["recovery"]] for r in rows],
+    )
+    save("availability", "Election and failover (paper section 2)\n" + text)
+
+    for row in rows:
+        # Every endpoint agrees on primary and secondary.
+        assert row["consensus"]
+        # Detection is bounded by miss_threshold x heartbeat interval
+        # (plus one in-flight heartbeat's timeout).
+        assert row["detection"] < 3 * 2e-3 + 2 * 0.5e-3 + 2e-3
+        assert row["recovery"] > 0
+    # Flood cost grows with fabric size (more candidates, more links).
+    assert rows[-1]["flood_packets"] > rows[0]["flood_packets"]

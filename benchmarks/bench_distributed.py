@@ -1,0 +1,87 @@
+"""X1 (section 5, future work) — collaborative fabric managers.
+
+"One of them is to distribute the entire process through several
+collaborative fabric managers, in order to increase parallelization."
+
+The bench runs one and two FMs over grid fabrics and reports the
+end-to-end time (exploration + region merge).  The FM's per-packet
+processing is the discovery bottleneck, so two claim-partitioned FMs
+should approach a 2x speedup on large fabrics, less the merge cost.
+"""
+
+from _common import quick, save
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import (
+    build_simulation,
+    database_matches_fabric,
+    run_until_ready,
+)
+from repro.manager import (
+    PARALLEL,
+    CollaborativeDiscovery,
+    FabricManager,
+)
+from repro.routing.paths import fabric_route
+from repro.topology import table1_topology
+
+
+def _solo(spec):
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    setup.fm.start_discovery()
+    stats = run_until_ready(setup)
+    return stats.discovery_time
+
+
+def _duo(spec):
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    helper_host = sorted(
+        ep for ep in spec.endpoints if ep != spec.fm_host
+    )[-1]
+    helper = FabricManager(
+        setup.fabric.device(helper_host), setup.entities[helper_host],
+        algorithm=PARALLEL, auto_start=False,
+    )
+    route = fabric_route(setup.fabric, helper_host, spec.fm_host)
+    collab = CollaborativeDiscovery(setup.fm, [(helper, route)])
+    stats = setup.env.run(until=collab.run())
+    assert database_matches_fabric(setup)
+    return stats
+
+
+def _run():
+    names = ("4x4 mesh", "6x6 mesh") if quick() else (
+        "4x4 mesh", "6x6 mesh", "8x8 mesh", "10x10 torus",
+    )
+    rows = []
+    for name in names:
+        spec = table1_topology(name)
+        solo_time = _solo(spec)
+        duo = _duo(spec)
+        rows.append({
+            "topology": name,
+            "devices": spec.total_devices,
+            "solo": solo_time,
+            "duo": duo.total_time,
+            "merge": duo.merge_duration,
+            "speedup": solo_time / duo.total_time,
+        })
+    return rows
+
+
+def test_distributed(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_table(
+        ["Topology", "Devices", "1 FM (s)", "2 FMs (s)", "merge (s)",
+         "speedup"],
+        [[r["topology"], r["devices"], r["solo"], r["duo"], r["merge"],
+          f"{r['speedup']:.2f}x"] for r in rows],
+    )
+    save("distributed_x1", "X1. Collaborative discovery\n" + text)
+
+    for row in rows:
+        assert row["speedup"] > 1.0, row["topology"]
+    # On the largest fabric the speedup approaches the 2-FM ideal.
+    assert rows[-1]["speedup"] > 1.4
+    # Speedup does not collapse as fabrics grow.
+    assert rows[-1]["speedup"] >= rows[0]["speedup"] * 0.9

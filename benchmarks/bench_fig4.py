@@ -1,0 +1,54 @@
+"""Fig. 4 — average FM time to process a PI-4 packet, per algorithm.
+
+The paper measured these times by profiling a software FM on a 3 GHz
+Pentium 4 and fed them to the simulator.  Here the simulator's FM
+accumulates its charged busy time; the bench reports the per-packet
+mean for each algorithm across network sizes and checks Fig. 4's
+shape: Serial Packet > Serial Device > Parallel, mild growth with
+size, all in the ~10-25 microsecond band.
+"""
+
+from _common import bench_suite, quick, save, series_dict
+
+from repro.experiments.figures import figure4
+from repro.manager import PARALLEL, SERIAL_DEVICE, SERIAL_PACKET
+from repro.topology import table1_topology
+
+
+def _run():
+    if quick():
+        topologies = [table1_topology(n) for n in ("3x3 mesh", "4x4 mesh")]
+    else:
+        topologies = [
+            table1_topology(n)
+            for n in ("3x3 mesh", "4x4 mesh", "6x6 mesh", "8x8 mesh",
+                      "10x10 torus")
+        ]
+    return figure4(topologies=topologies)
+
+
+def test_fig4(benchmark):
+    from repro.experiments.ascii_plot import render_plot
+
+    data, text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    plot = render_plot(
+        "Fig. 4 as a scatter plot", "switches",
+        "FM PI-4 processing time (s)", data["series"],
+    )
+    save("fig4", text + "\n\n" + plot)
+    from _common import save_json
+    save_json("fig4", data)
+
+    series = series_dict(data["series"])
+    sizes = sorted(series[PARALLEL])
+    for size in sizes:
+        sp = series[SERIAL_PACKET][size]
+        sd = series[SERIAL_DEVICE][size]
+        pa = series[PARALLEL][size]
+        # Fig. 4 ordering at every network size.
+        assert sp > sd > pa
+        # Fig. 4 magnitude band.
+        assert 5e-6 < pa and sp < 30e-6
+    # Mild growth with network size, for every algorithm.
+    for algo in (SERIAL_PACKET, SERIAL_DEVICE, PARALLEL):
+        assert series[algo][sizes[-1]] > series[algo][sizes[0]]

@@ -1,0 +1,81 @@
+"""Fig. 6 — discovery time after a topological change.
+
+Full reproduction of the paper's main experiment: for every Table 1
+topology and every algorithm, the fabric powers up, the FM gathers the
+initial topology and programs event routes, a randomly chosen switch
+is hot-removed or hot-added, PI-5 notifications trigger the change
+assimilation, and the rediscovery time is measured.
+
+Checks the paper's findings:
+* the Parallel time is always the smallest (Fig. 6(a));
+* Serial Device beats Serial Packet ("a bit better");
+* the improvement is *scalable*: the absolute Serial-vs-Parallel gap
+  grows with the fabric size;
+* the behaviour "does not depend on the type of topology".
+"""
+
+from collections import defaultdict
+
+from _common import bench_suite, save, seeds
+
+from repro.experiments.figures import figure6
+from repro.manager import PARALLEL, SERIAL_DEVICE, SERIAL_PACKET
+
+
+def _run():
+    return figure6(topologies=bench_suite(), seeds=seeds())
+
+
+def test_fig6(benchmark):
+    from _common import series_dict
+    from repro.experiments.ascii_plot import render_plot
+
+    data, text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    plot = render_plot(
+        "Fig. 6(a) as a scatter plot", "active nodes",
+        "discovery time (s)", data["per_run"],
+    )
+    save("fig6", text + "\n\n" + plot)
+    from _common import save_json
+    save_json("fig6", data)
+
+    runs = data["runs"]
+    assert all(r["database_correct"] for r in runs)
+
+    # Group by (topology, seed, change): the three algorithms saw the
+    # exact same change, so their times are directly comparable.
+    by_case = defaultdict(dict)
+    for r in runs:
+        by_case[(r["topology"], r["seed"], r["change"])][
+            r["algorithm"]] = r
+
+    for case, algos in by_case.items():
+        assert algos[PARALLEL]["discovery_time"] \
+            < algos[SERIAL_DEVICE]["discovery_time"] \
+            < algos[SERIAL_PACKET]["discovery_time"], case
+
+    # Scalability of the improvement: the gap grows with size.
+    gaps = {}
+    for case, algos in by_case.items():
+        size = algos[PARALLEL]["active_devices"]
+        gap = (algos[SERIAL_PACKET]["discovery_time"]
+               - algos[PARALLEL]["discovery_time"])
+        gaps.setdefault(size, []).append(gap)
+    sizes = sorted(gaps)
+    small = sum(gaps[sizes[0]]) / len(gaps[sizes[0]])
+    large = sum(gaps[sizes[-1]]) / len(gaps[sizes[-1]])
+    # The gap grows roughly linearly with the fabric size (packet
+    # count ~ devices), so expect at least ~60% of proportional growth.
+    assert large > 0.6 * (sizes[-1] / sizes[0]) * small
+
+    # Topology-type independence: mesh and torus of the same size give
+    # comparable times per algorithm (within 25%).
+    mean_by_topo = defaultdict(list)
+    for r in runs:
+        if r["algorithm"] == PARALLEL:
+            mean_by_topo[r["topology"]].append(r["discovery_time"])
+    for a, b in [("3x3 mesh", "3x3 torus")]:
+        if a in mean_by_topo and b in mean_by_topo:
+            ta = sum(mean_by_topo[a]) / len(mean_by_topo[a])
+            tb = sum(mean_by_topo[b]) / len(mean_by_topo[b])
+            assert abs(ta - tb) / max(ta, tb) < 0.25

@@ -1,0 +1,67 @@
+"""Fig. 7 — processing packets at the FM.
+
+(a) The simulation time at which the FM finishes processing each
+discovery packet, for the 3x3 mesh with every device active.  The
+paper observes three near-linear series: Serial Packet with the
+steepest constant slope (the FM idles through every round trip),
+Serial Device with a varying-but-lower slope, Parallel with the
+lowest constant slope (pure FM pipeline).
+
+(b) The ideal pipeline periods: serial = T_FM + 2*T_Prop + T_Device,
+parallel = T_FM.  The bench checks the measured slopes land on the
+closed forms.
+"""
+
+import numpy as np
+from _common import save
+
+from repro.experiments.figures import figure7
+from repro.manager import PARALLEL, SERIAL_DEVICE, SERIAL_PACKET
+
+
+def _run():
+    return figure7()
+
+
+def _fit(points):
+    xs = np.array([n for n, _t in points], dtype=float)
+    ys = np.array([t for _n, t in points], dtype=float)
+    slope, _ = np.polyfit(xs, ys, 1)
+    ss_res = float(((np.polyval(np.polyfit(xs, ys, 1), xs) - ys) ** 2).sum())
+    ss_tot = float(((ys - ys.mean()) ** 2).sum())
+    return slope, 1 - ss_res / ss_tot
+
+
+def test_fig7(benchmark):
+    from repro.experiments.ascii_plot import render_plot
+
+    data, text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    plot = render_plot(
+        "Fig. 7(a) as a scatter plot", "packet number",
+        "simulation time (s)",
+        {name: points[::10] for name, points in data["timelines"].items()},
+    )
+    save("fig7", text + "\n\n" + plot)
+    from _common import save_json
+    save_json("fig7", data)
+
+    timelines = data["timelines"]
+    fits = {algo: _fit(points) for algo, points in timelines.items()}
+
+    # Constant slopes for the two extreme algorithms (R^2 ~ 1).
+    assert fits[SERIAL_PACKET][1] > 0.999
+    assert fits[PARALLEL][1] > 0.999
+    # Ordering of the slopes.
+    assert fits[PARALLEL][0] < fits[SERIAL_DEVICE][0] \
+        < fits[SERIAL_PACKET][0]
+
+    # (b): measured slopes match the analytical periods within 5%.
+    ideal = data["ideal"]
+    serial_period = ideal["serial period  = T_FM + 2*T_Prop + T_Device"]
+    parallel_period = ideal["parallel period = T_FM"]
+    assert abs(fits[SERIAL_PACKET][0] - serial_period) / serial_period < 0.05
+    assert abs(fits[PARALLEL][0] - parallel_period) / parallel_period < 0.05
+
+    # The 3x3 mesh completes in the paper's ~3e-3 s range.
+    last_time = timelines[SERIAL_PACKET][-1][1]
+    assert 1e-3 < last_time < 10e-3

@@ -1,0 +1,75 @@
+"""Fig. 8 — discovery time under different processing factors (8x8 mesh).
+
+(a) Sweeping the FM processing factor (device factor 1): "as the
+processing factor grows up, the discovery time decreases, and the
+difference between the serial and parallel implementations increases.
+Moreover, the difference between the Serial Packet and Serial Device
+algorithms slightly decreases."
+
+(b) Sweeping the device processing factor (FM factor 1): "increasing
+the device processing speed only improves the serial discovery
+algorithms.  The Parallel algorithm is not affected ... only when
+devices are too much slow (factors < 1/3) the discovery time is
+affected."
+"""
+
+from _common import quick, save, series_dict
+
+from repro.experiments.figures import figure8
+from repro.manager import PARALLEL, SERIAL_DEVICE, SERIAL_PACKET
+from repro.topology import table1_topology
+
+
+def _run():
+    spec = table1_topology("4x4 mesh" if quick() else "8x8 mesh")
+    return figure8(spec=spec)
+
+
+def test_fig8(benchmark):
+    from repro.experiments.ascii_plot import render_plot
+
+    data, text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    plots = (
+        render_plot("Fig. 8(a) as a scatter plot", "FM factor",
+                    "discovery time (s)", data["fm_factor"])
+        + "\n\n"
+        + render_plot("Fig. 8(b) as a scatter plot", "device factor",
+                      "discovery time (s)", data["device_factor"])
+    )
+    save("fig8", text + "\n\n" + plots)
+    from _common import save_json
+    save_json("fig8", data)
+
+    fm = series_dict(data["fm_factor"])
+    dev = series_dict(data["device_factor"])
+
+    # (a) time decreases monotonically with the FM factor, everywhere.
+    for algo, points in fm.items():
+        factors = sorted(points)
+        times = [points[f] for f in factors]
+        assert times == sorted(times, reverse=True), algo
+
+    # (a) relative serial-vs-parallel difference increases with factor.
+    low, high = min(fm[PARALLEL]), max(fm[PARALLEL])
+    ratio_low = fm[SERIAL_PACKET][low] / fm[PARALLEL][low]
+    ratio_high = fm[SERIAL_PACKET][high] / fm[PARALLEL][high]
+    assert ratio_high > ratio_low
+
+    # (a) The Serial Packet vs Serial Device gap (absolute) shrinks
+    # slightly: both floor toward their round-trip-bound components.
+    sd_low = fm[SERIAL_PACKET][low] - fm[SERIAL_DEVICE][low]
+    sd_high = fm[SERIAL_PACKET][high] - fm[SERIAL_DEVICE][high]
+    assert sd_high < sd_low
+
+    # (b) serial algorithms improve with faster devices...
+    for algo in (SERIAL_PACKET, SERIAL_DEVICE):
+        assert dev[algo][0.2] > dev[algo][1.0] * 1.10, algo
+    # ...while Parallel is flat for factors >= 1/3...
+    flat = [dev[PARALLEL][f] for f in sorted(dev[PARALLEL]) if f >= 1 / 3]
+    assert max(flat) < min(flat) * 1.05
+    # ...and only very slow devices touch it, and then only mildly:
+    # with hundreds of requests outstanding the FM pipeline hides even
+    # 20x-slower devices almost completely.  (The paper's knee was at
+    # factor < 1/3; this model's sits further out — see EXPERIMENTS.md.)
+    assert dev[PARALLEL][0.05] > dev[PARALLEL][1.0]
+    assert dev[PARALLEL][0.05] < dev[PARALLEL][1.0] * 1.15

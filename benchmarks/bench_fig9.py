@@ -1,0 +1,70 @@
+"""Fig. 9 — the Fig. 6 study at three processing-factor corners.
+
+(a) FM factor 1, device factor 1 (the defaults of Fig. 6);
+(b) FM factor 1, device factor 0.2 (slow devices);
+(c) FM factor 4, device factor 0.2 (fast FM, slow devices).
+
+The paper's conclusion: "for faster FM and slower fabric devices, the
+difference between the Parallel discovery algorithm and the serial
+ones increases, independently of the fabric size."
+"""
+
+from collections import defaultdict
+
+from _common import bench_suite, save, seeds
+
+from repro.experiments.figures import figure9
+from repro.manager import PARALLEL, SERIAL_PACKET
+
+
+def _run():
+    return figure9(topologies=bench_suite(), seeds=seeds())
+
+
+def _mean_ratio(panel):
+    """Mean Serial Packet / Parallel time ratio across x values."""
+    series = panel["series"]
+    sp = defaultdict(list)
+    pa = defaultdict(list)
+    for x, y in series[SERIAL_PACKET]:
+        sp[x].append(y)
+    for x, y in series[PARALLEL]:
+        pa[x].append(y)
+    ratios = []
+    for x in sp:
+        if x in pa:
+            ratios.append(
+                (sum(sp[x]) / len(sp[x])) / (sum(pa[x]) / len(pa[x]))
+            )
+    return sum(ratios) / len(ratios)
+
+
+def test_fig9(benchmark):
+    from repro.experiments.ascii_plot import render_plot
+
+    data, text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    plots = "\n\n".join(
+        render_plot(
+            f"Fig. 9({panel}) as a scatter plot "
+            f"(FM={info['fm_factor']}, dev={info['device_factor']})",
+            "active nodes", "discovery time (s)", info["series"],
+        )
+        for panel, info in data.items()
+    )
+    save("fig9", text + "\n\n" + plots)
+    from _common import save_json
+    save_json("fig9", data)
+
+    ratio_a = _mean_ratio(data["a"])
+    ratio_b = _mean_ratio(data["b"])
+    ratio_c = _mean_ratio(data["c"])
+
+    # Every corner keeps Parallel ahead...
+    assert ratio_a > 1.0
+    # ...slow devices widen the gap...
+    assert ratio_b > ratio_a
+    # ...and fast FM + slow devices widen it the most.
+    assert ratio_c > ratio_b
+    # In the paper's Fig. 9(c) regime the serial algorithm is several
+    # times slower.
+    assert ratio_c > 2.0

@@ -1,0 +1,36 @@
+"""S1 (section 4.1) — management overhead across the algorithms.
+
+"As the amount of discovery packets employed by the serial and
+parallel discovery algorithms is very similar, we do not include these
+results here."  In this implementation the exploration work is
+identical across the three schedulers, so the request/byte counts are
+*exactly* equal — and equal to the closed-form packet model.
+"""
+
+from _common import quick, save
+
+from repro.analysis.model import expected_packets
+from repro.experiments.figures import overhead_comparison
+from repro.topology import table1_topology
+
+
+def _run():
+    names = ("3x3 mesh", "4x4 torus") if quick() else (
+        "3x3 mesh", "4x4 torus", "6x6 mesh",
+        "4-port 3-tree", "8-port 2-tree",
+    )
+    return overhead_comparison(
+        topologies=[table1_topology(n) for n in names]
+    )
+
+
+def test_overhead(benchmark):
+    data, text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save("overhead_s1", text)
+
+    for row in data:
+        requests = set(row["requests"].values())
+        request_bytes = set(row["bytes"].values())
+        assert len(requests) == 1, row["topology"]
+        assert len(request_bytes) == 1, row["topology"]
+        assert row["expected_requests"] in requests, row["topology"]

@@ -1,0 +1,27 @@
+"""Table 1 — the evaluated topology suite.
+
+Regenerates the paper's Table 1 (topology name, switch count, endpoint
+count, total devices) from the topology generators.
+"""
+
+from _common import save
+
+from repro.experiments.figures import figure_table1
+
+
+def test_table1(benchmark):
+    rows, text = benchmark.pedantic(figure_table1, rounds=1, iterations=1)
+    save("table1", text)
+
+    by_name = {r["topology"]: r for r in rows}
+    # Structural expectations: one endpoint per switch on grids, the
+    # k-ary n-tree counts on the fat-trees.
+    assert by_name["3x3 mesh"] == {
+        "topology": "3x3 mesh", "switches": 9, "endpoints": 9,
+        "total_devices": 18,
+    }
+    assert by_name["8x8 torus"]["total_devices"] == 128
+    assert by_name["10x10 torus"]["total_devices"] == 200
+    assert by_name["4-port 4-tree"]["switches"] == 32
+    assert by_name["8-port 2-tree"]["endpoints"] == 16
+    assert len(rows) == 13

@@ -1,0 +1,72 @@
+"""S2 (section 4.1) — application traffic scarcely affects discovery.
+
+"This traffic scarcely influences on the discovery time.  The reason
+is that, in ASI, the management and notification packets have the
+higher priority when they are transmitted through the fabric."
+
+The bench sweeps background Poisson load from 0 to 80% of link rate
+and measures Parallel discovery time on an 8x8 mesh (4x4 in quick
+mode).  Management packets ride the strict-priority VC with the
+bypassable bit set, so the discovery time must stay within a few
+percent of the unloaded case.
+"""
+
+from _common import quick, save
+
+from repro.experiments.report import render_series
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.manager import PARALLEL
+from repro.topology import table1_topology
+from repro.workloads.traffic import TrafficGenerator
+
+LOADS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+
+def _measure(spec, load):
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    generator = None
+    if load > 0:
+        generator = TrafficGenerator(setup.fabric, load=load, seed=11)
+        generator.attach_sinks(setup.entities)
+        generator.start()
+    setup.fm.start_discovery()
+    stats = run_until_ready(setup)
+    injected = generator.stats["packets_injected"] if generator else 0
+    return stats.discovery_time, injected
+
+
+def _run():
+    spec = table1_topology("4x4 mesh" if quick() else "8x8 mesh")
+    points = []
+    injected = []
+    for load in LOADS:
+        time, n = _measure(spec, load)
+        points.append((load, time))
+        injected.append((load, n))
+    return {"spec": spec.name, "times": points, "injected": injected}
+
+
+def test_traffic(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = render_series(
+        f"S2. Discovery time under background application load "
+        f"({data['spec']})",
+        "load", "discovery time (s)",
+        {
+            "Parallel discovery": data["times"],
+            "app packets injected": [
+                (x, float(n)) for x, n in data["injected"]
+            ],
+        },
+    )
+    save("traffic_s2", text)
+
+    times = dict(data["times"])
+    idle = times[0.0]
+    for load, time in times.items():
+        assert time < idle * 1.10, (
+            f"load {load:.0%} moved discovery time by "
+            f"{(time / idle - 1) * 100:.1f}%"
+        )
+    # The sweep actually generated meaningful contention.
+    assert dict(data["injected"])[0.8] > 1000

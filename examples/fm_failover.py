@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Election and failover: the fabric's availability story.
+
+1. The fabric powers up and runs the distributed FM election: every
+   FM-capable endpoint floods its candidacy; priority (then DSN)
+   decides.  The winner becomes primary, the runner-up secondary.
+2. The primary discovers the fabric; the secondary heartbeats it.
+3. The primary's endpoint dies.  The secondary detects the missed
+   heartbeats, promotes itself, and rediscovers the fabric from its
+   own vantage point.
+
+Run:  python examples/fm_failover.py
+"""
+
+from repro import (
+    Election,
+    Environment,
+    FabricManager,
+    ManagementEntity,
+    StandbyManager,
+    make_mesh,
+    run_until_ready,
+)
+from repro.routing.paths import fabric_route
+
+
+def main() -> None:
+    env = Environment()
+    spec = make_mesh(3, 3)
+    fabric = spec.build(env)
+
+    # Give two endpoints elevated election priority.
+    fabric.device("ep_0_0").fm_priority = 10
+    fabric.device("ep_2_2").fm_priority = 5
+    entities = {n: ManagementEntity(d) for n, d in fabric.devices.items()}
+    fabric.power_up()
+
+    # --- 1. election ------------------------------------------------------
+    election = Election(entities, seed=42)
+    result = env.run(until=election.run())
+    primary = fabric.device_by_dsn(result.primary_dsn)
+    secondary = fabric.device_by_dsn(result.secondary_dsn)
+    print(f"Election (consensus={result.consensus}):")
+    print(f"  primary   = {primary.name} (priority {primary.fm_priority})")
+    print(f"  secondary = {secondary.name} (priority {secondary.fm_priority})")
+
+    # --- 2. primary discovers, secondary stands by -------------------------
+    fm = FabricManager(primary, entities[primary.name], auto_start=False)
+    fm.start_discovery()
+    env.run(until=fm.ready_event)
+    print(f"\nPrimary discovery: {fm.last_stats().discovery_time * 1e3:.3f} "
+          f"ms, {len(fm.database)} devices")
+
+    standby_fm = FabricManager(
+        secondary, entities[secondary.name],
+        auto_start=False, request_timeout=0.5e-3, max_retries=0,
+    )
+    standby = StandbyManager(
+        standby_fm,
+        primary_route=fabric_route(fabric, secondary.name, primary.name),
+        heartbeat_interval=2e-3, miss_threshold=3,
+    )
+    standby.start()
+    env.run(until=env.now + 20e-3)
+    print(f"Standby after 20 ms: {standby.heartbeats_answered} heartbeats "
+          f"answered, {standby.misses} misses")
+
+    # --- 3. primary dies -----------------------------------------------------
+    print(f"\nKilling the primary ({primary.name})...")
+    fabric.remove_device(primary.name)
+    report = env.run(until=standby.takeover_event)
+    print(f"Takeover: detected after {report.missed_heartbeats} missed "
+          f"heartbeats; rediscovery took "
+          f"{report.recovery_time * 1e3:.3f} ms")
+    print(f"New manager {standby.fm.endpoint.name} knows "
+          f"{len(standby.fm.database)} devices "
+          f"(old primary and its endpoint are gone)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shared architectural constants (leaf module: import from anywhere).
+
+Lives outside both :mod:`repro.fabric` and :mod:`repro.routing` so the
+header codec and the turn-pool logic can share it without creating an
+import cycle between the two packages.
+"""
+
+#: Width of the modeled turn pool in bits.  The real Advanced Switching
+#: header has a 31-bit pool, which is too short for the paper's largest
+#: topologies (see repro.fabric.header); we widen it to 64.
+TURN_POOL_BITS = 64

@@ -1,0 +1,79 @@
+"""The discovery-claim capability (collaborative discovery support).
+
+Used by the distributed-discovery extension (paper future work,
+section 5: "distribute the entire process through several collaborative
+fabric managers").  Each collaborating FM, before exploring a freshly
+found device, writes a *claim* naming itself.  The device accepts the
+first claim of a generation and rejects later ones with a PI-4
+completion status of ``STATUS_CONFLICT`` — the device's serial
+management-packet processing makes the test-and-set atomic for free.
+
+Layout::
+
+    dword 0 : [valid:1][rsvd:15][generation:16]
+    dword 1 : owner DSN high
+    dword 2 : owner DSN low
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .config_space import ConfigSpaceError
+from .registers import RegisterBlock, RegisterError, get_field, set_field
+
+#: Capability identifier of the claim capability.
+CLAIM_CAP_ID = 0x07
+
+#: PI-4 status returned when a claim loses the race.
+STATUS_CONFLICT = 0x04
+
+_SIZE = 3
+
+
+class ClaimCapability:
+    """First-writer-wins claim register."""
+
+    cap_id = CLAIM_CAP_ID
+
+    def __init__(self):
+        self._block = RegisterBlock(_SIZE)
+
+    def __len__(self) -> int:
+        return _SIZE
+
+    @staticmethod
+    def encode(owner_dsn: int, generation: int) -> List[int]:
+        dword0 = set_field(set_field(0, 31, 1, 1), 0, 16, generation & 0xFFFF)
+        return [
+            dword0,
+            (owner_dsn >> 32) & 0xFFFFFFFF,
+            owner_dsn & 0xFFFFFFFF,
+        ]
+
+    def read(self, offset: int, count: int) -> List[int]:
+        return self._block.read(offset, count)
+
+    def write(self, offset: int, values: Sequence[int]) -> None:
+        """Accept the claim only if unclaimed for this generation."""
+        if offset != 0 or len(values) != _SIZE:
+            raise RegisterError("claim writes must cover the whole capability")
+        current = self.get_claim()
+        incoming_generation = get_field(values[0], 0, 16)
+        if current is not None and current[1] == incoming_generation:
+            raise ConfigSpaceError(
+                f"already claimed by {current[0]:#x} in generation "
+                f"{incoming_generation}",
+                status=STATUS_CONFLICT,
+            )
+        self._block.write(0, values)
+
+    def get_claim(self) -> Optional[Tuple[int, int]]:
+        """Return ``(owner_dsn, generation)`` or None if unclaimed."""
+        d0, high, low = self._block.read(0, 3)
+        if not get_field(d0, 31, 1):
+            return None
+        return ((high << 32) | low, get_field(d0, 0, 16))
+
+    def clear(self) -> None:
+        self._block.write(0, [0, 0, 0])

@@ -1,0 +1,76 @@
+"""The event-route capability.
+
+PI-5 event notifications must reach the fabric manager, but a device
+has no global view of the topology.  The FM therefore programs each
+device with a source route back to itself (via PI-4 writes) right after
+discovery; the device uses that route — and the stored local egress
+port — for every subsequent PI-5 packet.
+
+Layout::
+
+    dword 0 : [valid:1][rsvd:16][out_port:8][turn_pointer:7]
+    dword 1 : turn pool high dword
+    dword 2 : turn pool low dword
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .registers import RegisterBlock, RegisterError, get_field, set_field
+
+#: Capability identifier of the event-route capability.
+EVENT_ROUTE_CAP_ID = 0x05
+
+_SIZE = 3
+
+
+class EventRouteCapability:
+    """Writable storage for the device's route to the fabric manager."""
+
+    cap_id = EVENT_ROUTE_CAP_ID
+
+    def __init__(self):
+        self._block = RegisterBlock(_SIZE)
+
+    def __len__(self) -> int:
+        return _SIZE
+
+    def read(self, offset: int, count: int) -> List[int]:
+        return self._block.read(offset, count)
+
+    def write(self, offset: int, values: Sequence[int]) -> None:
+        self._block.write(offset, values)
+
+    # -- typed accessors --------------------------------------------------
+    @staticmethod
+    def encode(turn_pool: int, turn_pointer: int, out_port: int) -> List[int]:
+        """Render the three dwords of a valid route entry."""
+        dword0 = set_field(0, 31, 1, 1)
+        dword0 = set_field(dword0, 7, 8, out_port)
+        dword0 = set_field(dword0, 0, 7, turn_pointer)
+        return [
+            dword0,
+            (turn_pool >> 32) & 0xFFFFFFFF,
+            turn_pool & 0xFFFFFFFF,
+        ]
+
+    def set_route(self, turn_pool: int, turn_pointer: int,
+                  out_port: int = 0) -> None:
+        """Program the route to the FM (marks the entry valid)."""
+        self._block.write(0, self.encode(turn_pool, turn_pointer, out_port))
+
+    def clear(self) -> None:
+        """Invalidate the stored route."""
+        self._block.write(0, [0, 0, 0])
+
+    def get_route(self) -> Optional[Tuple[int, int, int]]:
+        """Return ``(turn_pool, turn_pointer, out_port)`` or None."""
+        d0, high, low = self._block.read(0, 3)
+        if not get_field(d0, 31, 1):
+            return None
+        return (
+            (high << 32) | low,
+            get_field(d0, 0, 7),
+            get_field(d0, 7, 8),
+        )

@@ -1,0 +1,94 @@
+"""The multicast capability: PI-4 access to a switch's forwarding table.
+
+The FM programs multicast distribution trees by writing operation
+dwords into this capability (paper, section 2: fabric management
+includes "multicast group management").
+
+Write format (each dword is one operation)::
+
+    [op:8][group:16][port:8]
+
+    op 1 : add ``port`` to ``group``
+    op 2 : remove ``port`` from ``group``
+    op 3 : clear ``group`` (port field ignored)
+
+Reads return, for the group selected by the dword *offset*, the port
+membership as a 32-bit bitmap per dword pair — enough for the model's
+16-port switches (dword 0 of the pair; dword 1 reserved).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..routing.tables import MulticastForwardingTable, MulticastTableError
+from .config_space import ConfigSpaceError
+from .registers import RegisterError
+
+#: Capability identifier of the multicast capability.
+MULTICAST_CAP_ID = 0x09
+
+OP_ADD = 0x01
+OP_REMOVE = 0x02
+OP_CLEAR = 0x03
+
+
+def encode_op(op: int, group: int, port: int = 0) -> int:
+    """Pack one table operation into a dword."""
+    if not 0 <= group <= 0xFFFF:
+        raise ConfigSpaceError(f"group {group} outside 16 bits")
+    if not 0 <= port <= 0xFF:
+        raise ConfigSpaceError(f"port {port} outside 8 bits")
+    return (op << 24) | (group << 8) | port
+
+
+class MulticastCapability:
+    """Write-to-program view of a switch's multicast table."""
+
+    cap_id = MULTICAST_CAP_ID
+
+    #: Groups readable through the capability window (dword offset
+    #: selects the group; kept small to bound read offsets).
+    READ_GROUPS = 256
+
+    def __init__(self, table: MulticastForwardingTable):
+        self._table = table
+
+    def __len__(self) -> int:
+        return self.READ_GROUPS
+
+    def read(self, offset: int, count: int) -> List[int]:
+        """Read port bitmaps for groups ``offset .. offset+count-1``."""
+        if offset < 0 or offset + count > self.READ_GROUPS:
+            raise RegisterError(
+                f"multicast read [{offset}, {offset + count}) outside "
+                f"{self.READ_GROUPS} groups"
+            )
+        result = []
+        for group in range(offset, offset + count):
+            bitmap = 0
+            for port in self._table.ports_for(group):
+                if port < 32:
+                    bitmap |= 1 << port
+            result.append(bitmap)
+        return result
+
+    def write(self, offset: int, values: Sequence[int]) -> None:
+        """Apply a sequence of table operations."""
+        if offset != 0:
+            raise RegisterError("multicast operations are written at 0")
+        for dword in values:
+            op = (dword >> 24) & 0xFF
+            group = (dword >> 8) & 0xFFFF
+            port = dword & 0xFF
+            try:
+                if op == OP_ADD:
+                    self._table.add_port(group, port)
+                elif op == OP_REMOVE:
+                    self._table.remove_port(group, port)
+                elif op == OP_CLEAR:
+                    self._table.clear_group(group)
+                else:
+                    raise ConfigSpaceError(f"unknown multicast op {op:#x}")
+            except MulticastTableError as exc:
+                raise ConfigSpaceError(str(exc)) from exc

@@ -1,0 +1,76 @@
+"""32-bit register blocks backing device capability structures."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+DWORD_MASK = 0xFFFFFFFF
+
+
+class RegisterError(IndexError):
+    """Raised on out-of-range or malformed register accesses."""
+
+
+class RegisterBlock:
+    """A fixed-size array of 32-bit registers.
+
+    All configuration-space state is stored as dwords, mirroring how
+    the specification exposes device information to PI-4 accesses.
+    """
+
+    __slots__ = ("_regs",)
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("register block needs at least one dword")
+        self._regs: List[int] = [0] * size
+
+    def __len__(self) -> int:
+        return len(self._regs)
+
+    def read(self, offset: int, count: int = 1) -> List[int]:
+        """Read ``count`` dwords starting at ``offset``."""
+        self._check_range(offset, count)
+        return self._regs[offset:offset + count]
+
+    def write(self, offset: int, values: Sequence[int]) -> None:
+        """Write consecutive dwords starting at ``offset``."""
+        self._check_range(offset, len(values))
+        for i, value in enumerate(values):
+            if not 0 <= value <= DWORD_MASK:
+                raise RegisterError(f"value {value:#x} is not a dword")
+            self._regs[offset + i] = value
+
+    def _check_range(self, offset: int, count: int) -> None:
+        if count < 1:
+            raise RegisterError("count must be positive")
+        if offset < 0 or offset + count > len(self._regs):
+            raise RegisterError(
+                f"access [{offset}, {offset + count}) outside block of "
+                f"{len(self._regs)} dwords"
+            )
+
+
+def pack_u64(value: int) -> List[int]:
+    """Split a 64-bit value into [high, low] dwords."""
+    if not 0 <= value < (1 << 64):
+        raise ValueError(f"{value:#x} is not a u64")
+    return [(value >> 32) & DWORD_MASK, value & DWORD_MASK]
+
+
+def unpack_u64(high: int, low: int) -> int:
+    """Combine [high, low] dwords into a 64-bit value."""
+    return ((high & DWORD_MASK) << 32) | (low & DWORD_MASK)
+
+
+def get_field(dword: int, shift: int, width: int) -> int:
+    """Extract a bit field from a dword."""
+    return (dword >> shift) & ((1 << width) - 1)
+
+
+def set_field(dword: int, shift: int, width: int, value: int) -> int:
+    """Return ``dword`` with the given bit field replaced by ``value``."""
+    mask = (1 << width) - 1
+    if not 0 <= value <= mask:
+        raise ValueError(f"value {value} exceeds {width}-bit field")
+    return (dword & ~(mask << shift)) | (value << shift)

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Print the paper's Table 1 (topologies evaluated).
+``discover``
+    Run one discovery on a Table 1 topology and print its stats.
+``change``
+    Run the full change-assimilation experiment (transient period,
+    random hot add/remove, PI-5 detection, rediscovery).
+``figure``
+    Regenerate one of the paper's figures (4, 6, 7, 8, 9) as ASCII.
+``list``
+    List the available topologies and algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.figures import (
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure_table1,
+)
+from .experiments.report import render_kv
+from .experiments.runner import (
+    build_simulation,
+    database_matches_fabric,
+    run_change_experiment,
+    run_until_ready,
+)
+from .manager.timing import ALGORITHMS, PARALLEL, ProcessingTimeModel
+from .topology.table1 import TABLE1_NAMES, table1_topology
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASI fabric discovery reproduction "
+                    "(Robles-Gomez et al.)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1")
+    sub.add_parser("list", help="list topologies and algorithms")
+
+    discover = sub.add_parser("discover", help="run one discovery")
+    discover.add_argument("--topology", default="3x3 mesh",
+                          choices=TABLE1_NAMES, metavar="NAME")
+    discover.add_argument("--algorithm", default=PARALLEL,
+                          choices=list(ALGORITHMS))
+    discover.add_argument("--fm-factor", type=float, default=1.0)
+    discover.add_argument("--device-factor", type=float, default=1.0)
+
+    change = sub.add_parser("change", help="change-assimilation experiment")
+    change.add_argument("--topology", default="4x4 mesh",
+                        choices=TABLE1_NAMES, metavar="NAME")
+    change.add_argument("--algorithm", default=PARALLEL,
+                        choices=list(ALGORITHMS))
+    change.add_argument("--kind", default="remove_switch",
+                        choices=("remove_switch", "add_switch"))
+    change.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=("4", "6", "7", "8", "9"))
+    figure.add_argument("--quick", action="store_true",
+                        help="use reduced topology suites")
+    return parser
+
+
+def _cmd_table1() -> int:
+    _rows, text = figure_table1()
+    print(text)
+    return 0
+
+
+def _cmd_list() -> int:
+    print("Topologies (Table 1):")
+    for name in TABLE1_NAMES:
+        print(f"  {name}")
+    print("\nDiscovery algorithms:")
+    for algorithm in ALGORITHMS:
+        print(f"  {algorithm}")
+    return 0
+
+
+def _cmd_discover(args) -> int:
+    timing = ProcessingTimeModel(fm_factor=args.fm_factor,
+                                 device_factor=args.device_factor)
+    spec = table1_topology(args.topology)
+    setup = build_simulation(spec, algorithm=args.algorithm,
+                             timing=timing, auto_start=False)
+    setup.fm.start_discovery()
+    stats = run_until_ready(setup)
+    info = stats.asdict()
+    info["database_correct"] = database_matches_fabric(setup)
+    info["mean_fm_time"] = setup.fm.mean_processing_time()
+    print(render_kv(f"Discovery of {spec.name} [{args.algorithm}]", info))
+    return 0 if info["database_correct"] else 1
+
+
+def _cmd_change(args) -> int:
+    result = run_change_experiment(
+        table1_topology(args.topology),
+        algorithm=args.algorithm,
+        change=args.kind,
+        seed=args.seed,
+    )
+    print(render_kv(
+        f"Change assimilation on {args.topology} [{args.algorithm}]",
+        result.asdict(),
+    ))
+    return 0 if result.database_correct else 1
+
+
+def _cmd_figure(args) -> int:
+    quick_suite = None
+    if args.quick:
+        quick_suite = [
+            table1_topology(n) for n in ("3x3 mesh", "4x4 mesh")
+        ]
+    if args.number == "4":
+        _data, text = figure4(topologies=quick_suite)
+    elif args.number == "6":
+        _data, text = figure6(topologies=quick_suite, seeds=range(1))
+    elif args.number == "7":
+        _data, text = figure7()
+    elif args.number == "8":
+        spec = table1_topology("4x4 mesh" if args.quick else "8x8 mesh")
+        _data, text = figure8(spec=spec)
+    else:
+        _data, text = figure9(topologies=quick_suite, seeds=range(1))
+    print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "discover":
+        return _cmd_discover(args)
+    if args.command == "change":
+        return _cmd_change(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

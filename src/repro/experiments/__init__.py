@@ -1,0 +1,48 @@
+"""Experiment harness: runners, sweeps, and per-figure builders."""
+
+from .ascii_plot import render_plot
+from .io import load_results, load_spec, save_results, save_spec
+from .report import render_kv, render_series, render_table
+from .runner import (
+    ExperimentResult,
+    SimulationSetup,
+    build_simulation,
+    database_matches_fabric,
+    run_change_experiment,
+    run_until_discovery_count,
+    run_until_ready,
+)
+from .sweep import (
+    DEVICE_FACTORS,
+    FM_FACTORS,
+    fig4_measurements,
+    measure_initial_discovery,
+    sweep_change_experiments,
+    sweep_device_factor,
+    sweep_fm_factor,
+)
+
+__all__ = [
+    "DEVICE_FACTORS",
+    "load_results",
+    "load_spec",
+    "render_kv",
+    "render_plot",
+    "render_series",
+    "render_table",
+    "save_results",
+    "save_spec",
+    "ExperimentResult",
+    "FM_FACTORS",
+    "SimulationSetup",
+    "build_simulation",
+    "database_matches_fabric",
+    "fig4_measurements",
+    "measure_initial_discovery",
+    "run_change_experiment",
+    "run_until_discovery_count",
+    "run_until_ready",
+    "sweep_change_experiments",
+    "sweep_device_factor",
+    "sweep_fm_factor",
+]

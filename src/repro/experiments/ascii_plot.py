@@ -1,0 +1,92 @@
+"""Dependency-free ASCII plots of experiment series.
+
+The figure benches print their data both as aligned columns
+(:mod:`repro.experiments.report`) and as a scatter plot so the *shape*
+of each reproduced figure — who wins, how gaps scale, where knees sit —
+is visible directly in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Series markers, assigned in definition order.
+MARKERS = "*+ox#@%&"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude < 1e-3 or magnitude >= 1e4:
+        return f"{value:.2e}"
+    return f"{value:.4g}"
+
+
+def render_plot(
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    logy: bool = False,
+) -> str:
+    """Scatter-plot named ``(x, y)`` series on a character grid.
+
+    Overlapping points from different series show the marker of the
+    later series (legend order breaks ties, like overplotting).
+    """
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small")
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+    ]
+    if not points:
+        raise ValueError("nothing to plot")
+    if logy and any(y <= 0 for _x, y in points):
+        raise ValueError("log scale requires positive y values")
+
+    xs = [x for x, _y in points]
+    ys = [math.log10(y) if logy else y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(MARKERS, series.items()):
+        for x, y in pts:
+            yy = math.log10(y) if logy else y
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((yy - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    y_top = _nice_number(10 ** y_hi if logy else y_hi)
+    y_bot = _nice_number(10 ** y_lo if logy else y_lo)
+    label_width = max(len(y_top), len(y_bot))
+
+    lines = [title]
+    scale = " (log y)" if logy else ""
+    lines.append(f"{ylabel}{scale}")
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_top.rjust(label_width)
+        elif i == height - 1:
+            label = y_bot.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    x_lo_s, x_hi_s = _nice_number(x_lo), _nice_number(x_hi)
+    pad = width - len(x_lo_s) - len(x_hi_s)
+    lines.append(
+        f"{' ' * label_width}  {x_lo_s}{' ' * max(1, pad)}{x_hi_s}"
+    )
+    lines.append(f"{' ' * label_width}  ({xlabel})")
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)

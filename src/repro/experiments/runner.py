@@ -1,0 +1,235 @@
+"""Single-experiment runner: the paper's simulation protocol.
+
+"Each simulation begins with a transient period in which fabric devices
+are activated and the FM gathers the initial topology.  After that, we
+have programmed the occurrence of a topological change, consisting in
+the addition or removal of a randomly chosen fabric switch.  For the
+detection of changes, we have implemented the event-reporting mechanism
+(PI-5) proposed in the ASI specification." (paper, section 4.1)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import networkx as nx
+
+from ..fabric.fabric import Fabric
+from ..fabric.params import DEFAULT_PARAMS, FabricParams
+from ..manager.discovery.base import DiscoveryStats
+from ..manager.fm import FabricManager
+from ..manager.timing import PARALLEL, ProcessingTimeModel
+from ..protocols.entity import ManagementEntity
+from ..sim.core import Environment
+from ..topology.spec import TopologySpec
+
+#: Safety horizon: no single discovery should take this long (seconds).
+MAX_SIM_TIME = 120.0
+
+
+@dataclass
+class SimulationSetup:
+    """A built, powered-up fabric with management entities and an FM."""
+
+    env: Environment
+    spec: TopologySpec
+    fabric: Fabric
+    entities: Dict[str, ManagementEntity]
+    fm: FabricManager
+
+
+def build_simulation(
+    spec: TopologySpec,
+    algorithm: str = PARALLEL,
+    timing: Optional[ProcessingTimeModel] = None,
+    params: FabricParams = DEFAULT_PARAMS,
+    fm_host: Optional[str] = None,
+    power_up: bool = True,
+    **fm_kwargs,
+) -> SimulationSetup:
+    """Instantiate a topology with a management entity per device and a
+    fabric manager on ``fm_host`` (default: the spec's designated host).
+    """
+    env = Environment()
+    fabric = spec.build(env, params)
+    timing = timing or ProcessingTimeModel()
+    entities = {
+        name: ManagementEntity(
+            device,
+            processing_time=timing.device_time,
+            processing_factor=timing.device_factor,
+        )
+        for name, device in fabric.devices.items()
+    }
+    host = fm_host or spec.fm_host or spec.endpoints[0]
+    fm = FabricManager(
+        fabric.device(host), entities[host],
+        timing=timing, algorithm=algorithm, **fm_kwargs,
+    )
+    if power_up:
+        fabric.power_up()
+    return SimulationSetup(env=env, spec=spec, fabric=fabric,
+                           entities=entities, fm=fm)
+
+
+def run_until_ready(setup: SimulationSetup) -> DiscoveryStats:
+    """Run until the FM's current discovery finished AND its event
+    routes are programmed (the fabric is change-detection capable)."""
+    setup.env.run(until=setup.fm.ready_event)
+    return setup.fm.last_stats()
+
+
+def run_until_discovery_count(setup: SimulationSetup, n: int,
+                              horizon: float = MAX_SIM_TIME) -> DiscoveryStats:
+    """Run until ``n`` discoveries have completed (bounded by horizon)."""
+    env, fm = setup.env, setup.fm
+    if len(fm.history) >= n:
+        return fm.history[n - 1]
+    marker = env.event()
+
+    def check(stats):
+        if len(fm.history) >= n and not marker.triggered:
+            marker.succeed(stats)
+
+    fm.on_discovery_complete.append(check)
+    deadline = env.timeout(horizon)
+    env.run(until=env.any_of([marker, deadline]))
+    fm.on_discovery_complete.remove(check)
+    if len(fm.history) < n:
+        raise TimeoutError(
+            f"discovery #{n} did not finish within {horizon} s of "
+            f"simulated time"
+        )
+    return fm.history[n - 1]
+
+
+def database_matches_fabric(setup: SimulationSetup) -> bool:
+    """Whether the FM database equals the reachable ground truth."""
+    fabric, fm = setup.fabric, setup.fm
+    reachable = set(fabric.reachable_devices(fm.endpoint.name))
+    truth = fabric.graph().subgraph(reachable)
+    truth_dsn = nx.relabel_nodes(
+        truth, {n: fabric.device(n).dsn for n in truth}
+    )
+    found = fm.database.graph()
+    return (
+        set(found.nodes) == set(truth_dsn.nodes)
+        and {frozenset(e) for e in found.edges}
+        == {frozenset(e) for e in truth_dsn.edges}
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one change-assimilation experiment (one Fig. 6 dot)."""
+
+    topology: str
+    family: str
+    algorithm: str
+    seed: int
+    change: str
+    changed_device: str
+    total_devices: int
+    #: Devices active and reachable from the FM after the change — the
+    #: horizontal axis of Fig. 6(a) / Fig. 9.
+    active_devices: int
+    initial: DiscoveryStats = None
+    assimilation: DiscoveryStats = None
+    database_correct: bool = False
+
+    @property
+    def discovery_time(self) -> float:
+        """Rediscovery time after the change (the Fig. 6 metric)."""
+        return self.assimilation.discovery_time
+
+    def asdict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "change": self.change,
+            "changed_device": self.changed_device,
+            "total_devices": self.total_devices,
+            "active_devices": self.active_devices,
+            "discovery_time": self.discovery_time,
+            "initial_discovery_time": self.initial.discovery_time,
+            "packets": self.assimilation.total_packets,
+            "bytes": self.assimilation.total_bytes,
+            "database_correct": self.database_correct,
+        }
+
+
+def _removable_switches(setup: SimulationSetup) -> list:
+    """Switches whose removal leaves the FM endpoint attached.
+
+    Removing the switch that hosts the FM's own link would leave the FM
+    alone in the fabric; the paper's runs keep the FM reachable, so the
+    directly-attached switch is excluded from the random choice.
+    """
+    fm_port = setup.fm.endpoint.ports[0]
+    neighbor = fm_port.neighbor()
+    attached = neighbor.device.name if neighbor is not None else None
+    return sorted(
+        sw.name for sw in setup.fabric.switches() if sw.name != attached
+    )
+
+
+def run_change_experiment(
+    spec: TopologySpec,
+    algorithm: str = PARALLEL,
+    change: str = "remove_switch",
+    seed: int = 0,
+    timing: Optional[ProcessingTimeModel] = None,
+    params: FabricParams = DEFAULT_PARAMS,
+    **fm_kwargs,
+) -> ExperimentResult:
+    """Run the paper's experiment: settle, change, measure rediscovery.
+
+    ``change`` is ``"remove_switch"`` or ``"add_switch"`` (for addition
+    the randomly chosen switch is kept powered off during the transient
+    period and hot-added as the change).
+    """
+    if change not in ("remove_switch", "add_switch"):
+        raise ValueError(f"unknown change kind {change!r}")
+    rng = random.Random(seed)
+    setup = build_simulation(spec, algorithm=algorithm, timing=timing,
+                             params=params, **fm_kwargs)
+    candidates = _removable_switches(setup)
+    if not candidates:
+        raise ValueError(f"{spec.name}: no switch eligible for the change")
+    victim = rng.choice(candidates)
+
+    if change == "add_switch":
+        # Keep the victim out of the initial topology.
+        setup.fabric.remove_device(victim)
+
+    # Transient period: initial discovery + event-route programming.
+    initial = run_until_ready(setup)
+
+    # The programmed change.
+    if change == "remove_switch":
+        setup.fabric.remove_device(victim)
+    else:
+        setup.fabric.restore_device(victim)
+
+    # PI-5 detection triggers the change assimilation; wait for it.
+    assimilation = run_until_discovery_count(setup, 2)
+    # Let the event-route reprogramming finish too.
+    setup.env.run(until=setup.fm.ready_event)
+
+    active = len(setup.fabric.reachable_devices(setup.fm.endpoint.name))
+    return ExperimentResult(
+        topology=spec.name,
+        family=spec.family,
+        algorithm=algorithm,
+        seed=seed,
+        change=change,
+        changed_device=victim,
+        total_devices=spec.total_devices,
+        active_devices=active,
+        initial=initial,
+        assimilation=assimilation,
+        database_correct=database_matches_fabric(setup),
+    )

@@ -1,0 +1,125 @@
+"""Parameter sweeps behind the paper's evaluation figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..manager.discovery.base import DiscoveryStats
+from ..manager.timing import ALGORITHMS, ProcessingTimeModel
+from ..topology.spec import TopologySpec
+from ..topology.table1 import table1_suite
+from .runner import (
+    ExperimentResult,
+    build_simulation,
+    run_change_experiment,
+    run_until_ready,
+)
+
+#: Default FM processing factors swept in Fig. 8(a).
+FM_FACTORS = (0.25, 1 / 3, 0.5, 1.0, 2.0, 3.0, 4.0)
+#: Default device processing factors swept in Fig. 8(b).
+DEVICE_FACTORS = (0.05, 0.1, 0.2, 1 / 3, 0.5, 1.0, 2.0, 4.0)
+
+
+def measure_initial_discovery(
+    spec: TopologySpec,
+    algorithm: str,
+    timing: Optional[ProcessingTimeModel] = None,
+) -> DiscoveryStats:
+    """Discovery time of a fully active fabric (no change), as used by
+    Figs. 4, 7(a), and 8 ("assuming that all fabric devices are
+    active")."""
+    setup = build_simulation(spec, algorithm=algorithm, timing=timing,
+                             auto_start=False)
+    setup.fm.start_discovery()
+    stats = run_until_ready(setup)
+    # Attach the measured mean FM processing time for Fig. 4.
+    stats.mean_fm_time = setup.fm.mean_processing_time()
+    return stats
+
+
+def sweep_change_experiments(
+    topologies: Optional[Sequence[TopologySpec]] = None,
+    algorithms: Sequence[str] = ALGORITHMS,
+    seeds: Iterable[int] = range(3),
+    timing: Optional[ProcessingTimeModel] = None,
+) -> List[ExperimentResult]:
+    """The Fig. 6 / Fig. 9 protocol over a topology suite.
+
+    Each seed alternates removal and addition changes, mirroring the
+    paper's "addition or removal of a randomly chosen fabric switch...
+    repeated several times for each topology".
+    """
+    topologies = list(topologies) if topologies else table1_suite()
+    results: List[ExperimentResult] = []
+    for spec in topologies:
+        for algorithm in algorithms:
+            for seed in seeds:
+                change = "remove_switch" if seed % 2 == 0 else "add_switch"
+                results.append(
+                    run_change_experiment(
+                        spec, algorithm=algorithm, change=change,
+                        seed=seed, timing=timing,
+                    )
+                )
+    return results
+
+
+def sweep_fm_factor(
+    spec: TopologySpec,
+    factors: Sequence[float] = FM_FACTORS,
+    algorithms: Sequence[str] = ALGORITHMS,
+    base_timing: Optional[ProcessingTimeModel] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Fig. 8(a): discovery time vs FM processing factor."""
+    base = base_timing or ProcessingTimeModel()
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for algorithm in algorithms:
+        points = []
+        for factor in factors:
+            timing = base.with_factors(fm_factor=factor)
+            stats = measure_initial_discovery(spec, algorithm, timing)
+            points.append((factor, stats.discovery_time))
+        series[algorithm] = points
+    return series
+
+
+def sweep_device_factor(
+    spec: TopologySpec,
+    factors: Sequence[float] = DEVICE_FACTORS,
+    algorithms: Sequence[str] = ALGORITHMS,
+    base_timing: Optional[ProcessingTimeModel] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Fig. 8(b): discovery time vs device processing factor."""
+    base = base_timing or ProcessingTimeModel()
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for algorithm in algorithms:
+        points = []
+        for factor in factors:
+            timing = base.with_factors(device_factor=factor)
+            stats = measure_initial_discovery(spec, algorithm, timing)
+            points.append((factor, stats.discovery_time))
+        series[algorithm] = points
+    return series
+
+
+def fig4_measurements(
+    topologies: Optional[Sequence[TopologySpec]] = None,
+    algorithms: Sequence[str] = ALGORITHMS,
+    timing: Optional[ProcessingTimeModel] = None,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Fig. 4: measured mean FM PI-4 processing time vs network size.
+
+    The x axis is the switch count, as in the paper.
+    """
+    topologies = list(topologies) if topologies else table1_suite()
+    series: Dict[str, List[Tuple[int, float]]] = {a: [] for a in algorithms}
+    for spec in topologies:
+        for algorithm in algorithms:
+            stats = measure_initial_discovery(spec, algorithm, timing)
+            series[algorithm].append(
+                (spec.num_switches, stats.mean_fm_time)
+            )
+    for points in series.values():
+        points.sort()
+    return series

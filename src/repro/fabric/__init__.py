@@ -1,0 +1,65 @@
+"""The simulated Advanced Switching fabric.
+
+Implements the hardware substrate the paper's OPNET model provided:
+links, virtual channels, credit flow control, cut-through switches,
+endpoints, and the packet formats management protocols ride on.
+"""
+
+from .crc import crc8, crc32
+from .device import Device
+from .endpoint import Endpoint
+from .fabric import Fabric, FabricError
+from .flow_control import CreditCounter, CreditError
+from .header import HEADER_BYTES, TURN_POOL_BITS, HeaderError, RouteHeader
+from .packet import (
+    PI_APPLICATION,
+    PI_DEVICE_MANAGEMENT,
+    PI_EVENT,
+    PI_MULTICAST,
+    Packet,
+    make_management_header,
+)
+from .params import (
+    APPLICATION_TC,
+    DEFAULT_PARAMS,
+    MANAGEMENT_TC,
+    FabricParams,
+)
+from .phy import Link, LinkError
+from .port import Port
+from .switch import Switch
+from .trace import PacketTracer, TraceEvent
+from .vc import VCType, VirtualChannel
+
+__all__ = [
+    "APPLICATION_TC",
+    "CreditCounter",
+    "CreditError",
+    "DEFAULT_PARAMS",
+    "Device",
+    "Endpoint",
+    "Fabric",
+    "FabricError",
+    "FabricParams",
+    "HEADER_BYTES",
+    "HeaderError",
+    "Link",
+    "LinkError",
+    "MANAGEMENT_TC",
+    "PI_APPLICATION",
+    "PI_DEVICE_MANAGEMENT",
+    "PI_EVENT",
+    "PI_MULTICAST",
+    "Packet",
+    "PacketTracer",
+    "Port",
+    "RouteHeader",
+    "Switch",
+    "TURN_POOL_BITS",
+    "TraceEvent",
+    "VCType",
+    "VirtualChannel",
+    "crc32",
+    "crc8",
+    "make_management_header",
+]

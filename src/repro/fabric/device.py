@@ -1,0 +1,139 @@
+"""Base class for fabric devices (switches and endpoints).
+
+A device owns its ports, its configuration space, and a *local
+handler* slot that the management entity (:mod:`repro.protocols.entity`)
+plugs into.  Subclasses decide what to do with a packet whose head has
+arrived at a port: switches route it onward, endpoints consume it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..capability import (
+    BaselineCapability,
+    ClaimCapability,
+    ConfigSpace,
+    EventRouteCapability,
+)
+from ..sim.core import Environment
+from ..sim.monitor import Counter
+from .packet import Packet
+from .params import FabricParams
+from .port import Port
+
+
+class Device:
+    """Common behaviour of all fabric devices."""
+
+    #: Baseline-capability device type code (set by subclasses).
+    type_code = 0
+    kind = "device"
+
+    def __init__(self, env: Environment, name: str, dsn: int, nports: int,
+                 params: FabricParams):
+        if nports < 1:
+            raise ValueError("a device needs at least one port")
+        self.env = env
+        self.name = name
+        self.dsn = dsn
+        self.params = params
+        self.active = False
+        self.vendor_id = 0xA51  # "ASI"
+        self.device_id = 0x0001
+        self.capability_version = 0x0100
+        self.stats = Counter()
+        self.ports: List[Port] = [Port(self, i, params) for i in range(nports)]
+
+        self.config_space = ConfigSpace()
+        self.config_space.add(BaselineCapability(self))
+        self.config_space.add(EventRouteCapability())
+        self.config_space.add(ClaimCapability())
+
+        #: Callback receiving packets addressed to this device:
+        #: ``handler(packet, port)``.  Installed by the management
+        #: entity; packets arriving with no handler are counted and
+        #: dropped.
+        self.local_handler: Optional[Callable[[Packet, Optional[Port]], None]] = None
+        #: Optional packet tracer (see :mod:`repro.fabric.trace`);
+        #: called as ``hook(kind, device, port_index, packet, detail)``.
+        self.trace_hook = None
+        #: Callback invoked on port state changes:
+        #: ``callback(device, port, up)``.  The management entity uses
+        #: it to emit PI-5 notifications.
+        self.port_state_observer: Optional[Callable] = None
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def nports(self) -> int:
+        return len(self.ports)
+
+    @property
+    def max_payload_code(self) -> int:
+        """Encoded max payload size for the baseline capability."""
+        return max(1, self.params.max_payload.bit_length() - 7)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "active" if self.active else "inactive"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+    # -- lifecycle -----------------------------------------------------------
+    def power_on(self) -> None:
+        self.active = True
+
+    def power_off(self) -> None:
+        self.active = False
+
+    # -- traffic ---------------------------------------------------------------
+    def handle_rx(self, packet: Packet, port: Port, vc_index: int,
+                  tail_lag: float) -> None:
+        """Head of ``packet`` arrived at ``port``; subclass decides."""
+        raise NotImplementedError
+
+    def inject(self, packet: Packet, port_index: int = 0) -> None:
+        """Send a locally generated packet out of ``port_index``."""
+        packet.src = packet.src or self.name
+        packet.created_at = self.env.now
+        self.stats.incr("injected")
+        if self.trace_hook is not None:
+            self.trace_hook("inject", self, port_index, packet)
+        self.ports[port_index].send(packet)
+
+    def consume(self, packet: Packet, port: Optional[Port],
+                tail_lag: float) -> None:
+        """Deliver ``packet`` locally once its tail has arrived."""
+
+        def deliver(_event=None):
+            if port is not None:
+                Port._run_releases(packet)
+            if not self.active:
+                self.stats.incr("rx_dropped_inactive")
+                return
+            self.stats.incr("consumed")
+            if self.trace_hook is not None:
+                self.trace_hook(
+                    "deliver", self,
+                    port.index if port is not None else None, packet,
+                )
+            if self.local_handler is not None:
+                self.local_handler(packet, port)
+            else:
+                self.stats.incr("rx_no_handler")
+
+        if tail_lag > 0:
+            timer = self.env.timeout(tail_lag)
+            timer.callbacks.append(deliver)
+        else:
+            deliver()
+
+    # -- events ------------------------------------------------------------------
+    def on_port_state_change(self, port: Port, up: bool) -> None:
+        """A local port changed state (link trained or failed)."""
+        self.stats.incr("port_up" if up else "port_down")
+        if self.port_state_observer is not None and self.active:
+            self.port_state_observer(self, port, up)
+
+    # -- queries -------------------------------------------------------------
+    def active_ports(self) -> List[int]:
+        """Indices of ports whose links are currently up."""
+        return [p.index for p in self.ports if p.is_up]

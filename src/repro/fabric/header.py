@@ -1,0 +1,178 @@
+"""The ASI route header, modeled on Fig. 1 of the paper.
+
+Every ASI packet starts with a routing header carrying:
+
+* **PI** — the protocol interface of the encapsulated payload (PI-4 is
+  the device configuration/control protocol, PI-5 event notification);
+* **TC** — traffic class, mapped to a virtual channel at each port;
+* **Turn Pool / Turn Pointer / D** — the source route (see
+  :mod:`repro.routing.turnpool`);
+* **OO / TS** — ordered-only / type-specific bits controlling whether a
+  packet may use a BVC bypass queue;
+* **Credits Required** — size of the packet in credit units, used by
+  link-level flow control;
+* a header CRC.
+
+Modeled deviations from the real Advanced Switching header (documented
+here and in DESIGN.md): the real header is 2 dwords with a 31-bit turn
+pool, which caps source routes at 31 turn bits — too short for the
+paper's largest topologies (an 8x8 mesh corner-to-corner path needs
+14 x 4 = 56 bits through 16-port switches).  We widen the pool to 64
+bits (header becomes 4 dwords) and give the turn pointer 7 bits.  All
+other semantics follow the specification.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from .._limits import TURN_POOL_BITS
+from .crc import crc8
+
+#: Serialized size of the route header in bytes.
+HEADER_BYTES = 16
+
+_STRUCT = struct.Struct(">IIQ")  # dword0, dword1, 64-bit pool
+
+
+class HeaderError(ValueError):
+    """Raised when a header fails validation or CRC check."""
+
+
+@dataclass
+class RouteHeader:
+    """A decoded ASI route header.
+
+    Attributes
+    ----------
+    pi:
+        Protocol interface of the payload (0-255).
+    tc:
+        Traffic class (0-7).
+    direction:
+        0 = forward route (turn pointer counts down to 0),
+        1 = backward route (turn pointer counts up).
+    oo:
+        Ordered-only bit; 1 forbids use of a BVC bypass queue.
+    ts:
+        Type-specific bypass hint; management packets set ``ts=1`` so
+        they can overtake application traffic in BVC bypass queues.
+    credits_required:
+        Packet size in credit units (0-31), filled by the sender.
+    turn_pointer:
+        Current position in the turn pool (0-``TURN_POOL_BITS``).
+    turn_pool:
+        The packed source route.
+    fecn / perr:
+        Congestion-notification and poisoned bits (modeled, unused by
+        the discovery study but kept for header fidelity).
+    """
+
+    pi: int = 0
+    tc: int = 0
+    direction: int = 0
+    oo: int = 0
+    ts: int = 0
+    credits_required: int = 0
+    turn_pointer: int = 0
+    turn_pool: int = 0
+    fecn: int = 0
+    perr: int = 0
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Check every field is within its bit width."""
+        checks = [
+            ("pi", self.pi, 0xFF),
+            ("tc", self.tc, 0x7),
+            ("direction", self.direction, 0x1),
+            ("oo", self.oo, 0x1),
+            ("ts", self.ts, 0x1),
+            ("credits_required", self.credits_required, 0x1F),
+            ("turn_pointer", self.turn_pointer, 0x7F),
+            ("fecn", self.fecn, 0x1),
+            ("perr", self.perr, 0x1),
+        ]
+        for name, value, mask in checks:
+            if not 0 <= value <= mask:
+                raise HeaderError(f"{name}={value} outside [0, {mask}]")
+        if self.turn_pointer > TURN_POOL_BITS:
+            raise HeaderError(
+                f"turn_pointer={self.turn_pointer} exceeds pool width"
+            )
+        if not 0 <= self.turn_pool < (1 << TURN_POOL_BITS):
+            raise HeaderError("turn_pool outside 64-bit range")
+
+    # -- serialization -----------------------------------------------------
+    def _pack_words(self, hcrc: int) -> bytes:
+        dword0 = (
+            (self.pi << 24)
+            | (self.tc << 21)
+            | (self.direction << 20)
+            | (self.oo << 19)
+            | (self.ts << 18)
+            | (self.turn_pointer << 11)
+            | (0 << 8)  # reserved
+            | hcrc
+        )
+        dword1 = (
+            (self.credits_required << 27)
+            | (self.fecn << 26)
+            | (self.perr << 25)
+        )
+        return _STRUCT.pack(dword0, dword1, self.turn_pool)
+
+    def pack(self) -> bytes:
+        """Serialize to ``HEADER_BYTES`` bytes, computing the header CRC."""
+        self.validate()
+        raw = self._pack_words(hcrc=0)
+        return self._pack_words(hcrc=crc8(raw))
+
+    @classmethod
+    def unpack(cls, data: bytes, check_crc: bool = True) -> "RouteHeader":
+        """Decode a header from bytes, verifying the CRC by default."""
+        if len(data) < HEADER_BYTES:
+            raise HeaderError(
+                f"need {HEADER_BYTES} bytes, got {len(data)}"
+            )
+        dword0, dword1, pool = _STRUCT.unpack(data[:HEADER_BYTES])
+        header = cls(
+            pi=(dword0 >> 24) & 0xFF,
+            tc=(dword0 >> 21) & 0x7,
+            direction=(dword0 >> 20) & 0x1,
+            oo=(dword0 >> 19) & 0x1,
+            ts=(dword0 >> 18) & 0x1,
+            turn_pointer=(dword0 >> 11) & 0x7F,
+            credits_required=(dword1 >> 27) & 0x1F,
+            fecn=(dword1 >> 26) & 0x1,
+            perr=(dword1 >> 25) & 0x1,
+            turn_pool=pool,
+        )
+        if check_crc:
+            expected = dword0 & 0xFF
+            actual = crc8(header._pack_words(hcrc=0))
+            if expected != actual:
+                raise HeaderError(
+                    f"header CRC mismatch: stored {expected:#04x}, "
+                    f"computed {actual:#04x}"
+                )
+        return header
+
+    # -- helpers -------------------------------------------------------------
+    def copy(self, **changes) -> "RouteHeader":
+        """Return a copy with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def reversed(self) -> "RouteHeader":
+        """Header for a completion traveling back along this route.
+
+        Per the specification, a response reuses the request's turn pool
+        and traffic class, flips the direction bit, and resets the turn
+        pointer to the position the forward traversal finished at (0).
+        """
+        if self.direction != 0:
+            raise HeaderError("can only reverse a forward header")
+        return self.copy(direction=1, turn_pointer=0)

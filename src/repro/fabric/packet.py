@@ -1,0 +1,151 @@
+"""ASI packets: a route header plus an encapsulated protocol payload.
+
+The PI (Protocol Interface) field of the route header identifies the
+payload protocol.  This module defines the PI numbers used by the
+reproduction (matching the specification where the paper names them)
+and the :class:`Packet` object that travels through the simulated
+fabric.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Optional
+
+from .crc import crc32
+from .header import HEADER_BYTES, HeaderError, RouteHeader
+
+# -- Protocol Interface numbers ---------------------------------------------
+#: Multicast / path-building protocol (PI-0).
+PI_MULTICAST = 0
+#: Device configuration and control protocol (PI-4): the read/write
+#: requests and completions the discovery process is built from.
+PI_DEVICE_MANAGEMENT = 4
+#: Event reporting protocol (PI-5): port state change notifications.
+PI_EVENT = 5
+#: Generic encapsulated application data (used by the background
+#: traffic workload; real ASI assigns encapsulation PIs from 8 up).
+PI_APPLICATION = 8
+
+_packet_ids = count()
+
+
+class PacketError(ValueError):
+    """Raised when a packet cannot be decoded from bytes."""
+
+
+@dataclass
+class Packet:
+    """A packet in flight through the simulated fabric.
+
+    The first two fields are "on the wire"; the rest is simulation
+    bookkeeping that a real packet would not carry.
+    """
+
+    header: RouteHeader
+    payload: bytes = b""
+    #: Unique id for tracing and for matching requests to completions.
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Name of the originating device.
+    src: str = ""
+    #: Simulation time the packet was injected.
+    created_at: float = 0.0
+    #: Free-form per-packet annotations (e.g. decoded PI-4 message).
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Hop counter maintained by switches (diagnostics only).
+    hops: int = 0
+
+    def size_bytes(self, framing_overhead: int = 8, pcrc_bytes: int = 4) -> int:
+        """Total wire size: framing + route header + payload + PCRC."""
+        pcrc = pcrc_bytes if self.payload else 0
+        return framing_overhead + HEADER_BYTES + len(self.payload) + pcrc
+
+    def credit_units(self, credit_unit: int = 64,
+                     framing_overhead: int = 8, pcrc_bytes: int = 4) -> int:
+        """Number of flow-control credits the packet occupies."""
+        return max(
+            1,
+            math.ceil(
+                self.size_bytes(framing_overhead, pcrc_bytes) / credit_unit
+            ),
+        )
+
+    def pcrc(self) -> int:
+        """End-to-end CRC over the payload."""
+        return crc32(self.payload)
+
+    # -- wire format --------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize header + payload (+ PCRC when present) to bytes.
+
+        The simulator moves :class:`Packet` objects directly for speed,
+        but the wire format is fully defined: this is what a conformance
+        capture of the modeled fabric would contain (minus link-layer
+        framing, which carries no protocol content).
+        """
+        body = self.header.pack() + self.payload
+        if self.payload:
+            body += struct.pack(">I", self.pcrc())
+        return body
+
+    @classmethod
+    def from_bytes(cls, data: bytes, check_crc: bool = True) -> "Packet":
+        """Decode a packet, verifying header CRC and payload PCRC."""
+        header = RouteHeader.unpack(data, check_crc=check_crc)
+        rest = data[HEADER_BYTES:]
+        if rest:
+            if len(rest) < 4:
+                raise PacketError("payload present but PCRC truncated")
+            payload, (stored,) = rest[:-4], struct.unpack(">I", rest[-4:])
+            if check_crc and crc32(payload) != stored:
+                raise PacketError(
+                    f"PCRC mismatch: stored {stored:#010x}, computed "
+                    f"{crc32(payload):#010x}"
+                )
+        else:
+            payload = b""
+        return cls(header=header, payload=payload)
+
+    @property
+    def pi(self) -> int:
+        return self.header.pi
+
+    @property
+    def is_management(self) -> bool:
+        """True for PI-4 / PI-5 fabric-management packets."""
+        return self.header.pi in (PI_DEVICE_MANAGEMENT, PI_EVENT)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.pkt_id} pi={self.header.pi} "
+            f"tc={self.header.tc} d={self.header.direction} "
+            f"len={len(self.payload)} from {self.src!r}>"
+        )
+
+
+def make_management_header(
+    turn_pool: int,
+    turn_pointer: int,
+    pi: int,
+    tc: int = 7,
+    direction: int = 0,
+) -> RouteHeader:
+    """Build a route header for a management packet.
+
+    Management packets use the highest traffic class and set the
+    type-specific bypass bit so they may overtake application traffic
+    in BVC bypass queues (the property the paper leans on when arguing
+    application traffic scarcely affects discovery time).
+    """
+    return RouteHeader(
+        pi=pi,
+        tc=tc,
+        direction=direction,
+        oo=0,
+        ts=1,
+        turn_pointer=turn_pointer,
+        turn_pool=turn_pool,
+    )

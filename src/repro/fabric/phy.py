@@ -1,0 +1,103 @@
+"""Physical links: x1 serial lanes connecting two device ports.
+
+A link carries packets in both directions independently.  Each
+direction is serialized by the owning :class:`~repro.fabric.port.Port`;
+the link contributes the wire propagation delay and the up/down state
+that the discovery process ultimately probes.
+
+Cut-through timing: the head of a packet arrives at the far side after
+``tx_time(header) + propagation_delay``; the tail follows after the
+rest of the serialization time.  Switches act on the head (virtual
+cut-through), endpoints wait for the tail (full reception).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Environment
+from .header import HEADER_BYTES
+from .params import FabricParams
+
+
+class LinkError(RuntimeError):
+    """Raised on invalid link wiring or use."""
+
+
+class Link:
+    """A bidirectional x1 serial link between two ports.
+
+    Links are created by :meth:`repro.fabric.fabric.Fabric.connect`,
+    which also attaches the two ports.
+    """
+
+    def __init__(self, env: Environment, params: FabricParams,
+                 name: str = ""):
+        self.env = env
+        self.params = params
+        self.name = name
+        self.a_port = None  # type: Optional[object]
+        self.b_port = None  # type: Optional[object]
+        self.up = False
+        #: Incremented on every down transition; in-flight deliveries
+        #: from a previous epoch are dropped on arrival.
+        self.epoch = 0
+
+    # -- wiring -----------------------------------------------------------
+    def attach(self, a_port, b_port) -> None:
+        """Connect the two endpoints of the link."""
+        if self.a_port is not None or self.b_port is not None:
+            raise LinkError(f"link {self.name!r} already attached")
+        if a_port is b_port:
+            raise LinkError("cannot attach a link to one port twice")
+        self.a_port = a_port
+        self.b_port = b_port
+        a_port.attach_link(self)
+        b_port.attach_link(self)
+
+    def other(self, port):
+        """The port at the far end of the link from ``port``."""
+        if port is self.a_port:
+            return self.b_port
+        if port is self.b_port:
+            return self.a_port
+        raise LinkError(f"{port!r} is not attached to link {self.name!r}")
+
+    # -- timing -------------------------------------------------------------
+    def tx_time(self, nbytes: int) -> float:
+        """Serialization time of a packet of ``nbytes``."""
+        return self.params.tx_time(nbytes)
+
+    def head_latency(self) -> float:
+        """Time from transmission start until the header has arrived."""
+        return (
+            self.params.tx_time(self.params.framing_overhead + HEADER_BYTES)
+            + self.params.propagation_delay
+        )
+
+    # -- state ---------------------------------------------------------------
+    def take_down(self) -> None:
+        """Fail the link; both ports observe a port-state change."""
+        if not self.up:
+            return
+        self.up = False
+        self.epoch += 1
+        for port in (self.a_port, self.b_port):
+            if port is not None:
+                port.on_link_state(False)
+
+    def bring_up(self) -> None:
+        """Restore the link (both attached devices must be active)."""
+        if self.up:
+            return
+        if self.a_port is None or self.b_port is None:
+            raise LinkError(f"link {self.name!r} is not attached")
+        if not (self.a_port.device.active and self.b_port.device.active):
+            return  # stays down until both ends are alive
+        self.up = True
+        for port in (self.a_port, self.b_port):
+            port.on_link_state(True)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"<Link {self.name!r} {state}>"

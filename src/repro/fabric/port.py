@@ -1,0 +1,277 @@
+"""Device ports: per-VC output queues, arbitration, and flow control.
+
+Each port owns the transmit side of its link direction.  A background
+process arbitrates among the port's virtual channels (strict priority:
+higher VC index first, and within a BVC the bypass queue first),
+reserves credits mirroring the far side's input buffer, serializes the
+packet on the link, and delivers the head to the remote port.
+
+The receive side accounts input-buffer occupancy and hands packets to
+the owning device; when the device releases the packet (forwards or
+consumes it), credits flow back to the sender after one propagation
+delay.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.core import Environment
+from ..sim.events import Event
+from ..sim.monitor import Counter
+from .flow_control import CreditCounter
+from .packet import Packet
+from .params import FabricParams
+from .vc import VCType, VirtualChannel, default_vc_types
+
+#: Key under which a packet carries its pending input-buffer release
+#: callbacks (virtual cut-through: the upstream buffer is freed when
+#: the packet starts its next transmission or is consumed).
+RX_RELEASE_KEY = "_rx_release"
+
+
+class Port:
+    """One port of a fabric device."""
+
+    def __init__(self, device, index: int, params: FabricParams):
+        self.device = device
+        self.index = index
+        self.params = params
+        self.env: Environment = device.env
+        self.link = None
+        self.error_count = 0
+        self.stats = Counter()
+        if params.vc_types:
+            vc_types = [VCType(t) for t in params.vc_types]
+        else:
+            vc_types = default_vc_types(params.vc_count)
+        self._tx_vcs: List[VirtualChannel] = [
+            VirtualChannel(i, vc_types[i]) for i in range(params.vc_count)
+        ]
+        #: Mirrors of the remote input buffer, one per VC (built when a
+        #: link is attached).
+        self.credits: List[CreditCounter] = []
+        #: Units currently held in our own input buffer, per VC.
+        self._rx_in_use: List[int] = [0] * params.vc_count
+        self._wakeup: Optional[Event] = None
+        self._tx_proc = None
+
+    # -- identity -------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.device.name}.p{self.index}"
+
+    @property
+    def is_up(self) -> bool:
+        """Port state as seen by the baseline capability."""
+        return (
+            self.link is not None
+            and self.link.up
+            and self.device.active
+        )
+
+    def neighbor(self):
+        """The port at the far end of the attached link, or None."""
+        if self.link is None:
+            return None
+        return self.link.other(self)
+
+    # -- wiring -----------------------------------------------------------
+    def attach_link(self, link) -> None:
+        if self.link is not None:
+            raise RuntimeError(f"port {self.name} already has a link")
+        self.link = link
+        self.credits = [
+            CreditCounter(self.env, self.params.rx_buffer_credits)
+            for _ in range(self.params.vc_count)
+        ]
+        if self._tx_proc is None:
+            self._tx_proc = self.env.process(
+                self._tx_loop(), name=f"tx:{self.name}"
+            )
+
+    def on_link_state(self, up: bool) -> None:
+        """Called by the link on up/down transitions."""
+        if not up:
+            # Lost packets' credits are resynchronized on retrain.
+            for counter in self.credits:
+                counter.available = counter.capacity
+                counter._waiters.clear()
+            self._rx_in_use = [0] * self.params.vc_count
+            for vc in self._tx_vcs:
+                dropped = len(vc)
+                if dropped:
+                    self.stats.incr("tx_dropped_link_down", dropped)
+                for packet in list(vc):
+                    # Forwarded packets still hold an input buffer on
+                    # another port of this device; free it.
+                    self._run_releases(packet)
+                vc.ordered.clear()
+                vc.bypass.clear()
+        self._wake()
+        self.device.on_port_state_change(self, up)
+
+    # -- transmit side ------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Queue a packet for transmission out of this port.
+
+        Raises
+        ------
+        CreditError
+            If the packet exceeds the far side's entire input buffer —
+            it could never be granted credits and would wedge its VC
+            queue forever (real links negotiate max payload against
+            buffer size at training time).
+        """
+        units = packet.credit_units(
+            self.params.credit_unit,
+            self.params.framing_overhead,
+            self.params.pcrc_bytes,
+        )
+        if units > self.params.rx_buffer_credits:
+            self._run_releases(packet)
+            from .flow_control import CreditError
+
+            raise CreditError(
+                f"packet of {units} credit units exceeds the "
+                f"{self.params.rx_buffer_credits}-unit receive buffer; "
+                f"lower max_payload or raise rx_buffer_credits"
+            )
+        vc_index = self.params.vc_for_tc(packet.header.tc)
+        if self.link is None or not self.link.up or not self.device.active:
+            self.stats.incr("tx_dropped_no_link")
+            self._run_releases(packet)
+            return
+        self._tx_vcs[vc_index].push(packet)
+        self.stats.incr("tx_queued")
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _pick(self):
+        """Highest-priority VC whose head packet has credits available."""
+        for vc in reversed(self._tx_vcs):
+            packet = vc.peek()
+            if packet is None:
+                continue
+            units = packet.credit_units(
+                self.params.credit_unit,
+                self.params.framing_overhead,
+                self.params.pcrc_bytes,
+            )
+            if self.credits[vc.index].available >= units:
+                return vc, packet, units
+        return None
+
+    def _tx_loop(self):
+        """Arbitrate, reserve credits, serialize, deliver."""
+        while True:
+            if self.link is None or not self.link.up:
+                yield self._sleep()
+                continue
+            choice = self._pick()
+            if choice is None:
+                yield self._sleep()
+                continue
+            vc, packet, units = choice
+            vc.pop()
+            grant = self.credits[vc.index].consume(units)
+            assert grant.triggered, "pick() guaranteed credits"
+            packet.header.credits_required = min(units, 31)
+            # The packet leaves this device's buffer as its first bit
+            # hits the wire: release the upstream input buffer now.
+            self._run_releases(packet)
+
+            size = packet.size_bytes(
+                self.params.framing_overhead, self.params.pcrc_bytes
+            )
+            tx_time = self.link.tx_time(size)
+            head = self.link.head_latency()
+            remote = self.link.other(self)
+            epoch = self.link.epoch
+            tail_lag = max(0.0, tx_time - head + self.params.propagation_delay)
+
+            self.stats.incr("tx_packets")
+            self.stats.incr("tx_bytes", size)
+            hook = self.device.trace_hook
+            if hook is not None:
+                hook("tx", self.device, self.index, packet,
+                     detail=f"vc={vc.index}")
+
+            arrival = self.env.timeout(min(head, tx_time + self.params.propagation_delay))
+            arrival.callbacks.append(
+                lambda ev, r=remote, p=packet, v=vc.index, u=units,
+                e=epoch, t=tail_lag: r._receive(p, v, u, t, e)
+            )
+            # Keep the lane busy for the full serialization time.
+            yield self.env.timeout(tx_time)
+
+    def _sleep(self) -> Event:
+        self._wakeup = self.env.event()
+        return self._wakeup
+
+    @staticmethod
+    def _run_releases(packet: Packet) -> None:
+        for release in packet.meta.pop(RX_RELEASE_KEY, []):
+            release()
+
+    # -- receive side ---------------------------------------------------------
+    def _receive(self, packet: Packet, vc_index: int, units: int,
+                 tail_lag: float, epoch: int) -> None:
+        """Head of ``packet`` has arrived from the link."""
+        if (
+            self.link is None
+            or not self.link.up
+            or self.link.epoch != epoch
+            or not self.device.active
+        ):
+            self.stats.incr("rx_dropped")
+            hook = self.device.trace_hook
+            if hook is not None:
+                hook("drop", self.device, self.index, packet,
+                     detail="link down / stale epoch")
+            return
+        self._rx_in_use[vc_index] += units
+        self.stats.incr("rx_packets")
+        hook = self.device.trace_hook
+        if hook is not None:
+            hook("rx", self.device, self.index, packet,
+                 detail=f"vc={vc_index}")
+        self.stats.incr(
+            "rx_bytes",
+            packet.size_bytes(
+                self.params.framing_overhead, self.params.pcrc_bytes
+            ),
+        )
+        packet.meta.setdefault(RX_RELEASE_KEY, []).append(
+            lambda: self._release_rx(vc_index, units, epoch)
+        )
+        self.device.handle_rx(packet, self, vc_index, tail_lag)
+
+    def _release_rx(self, vc_index: int, units: int, epoch: int) -> None:
+        """Free input-buffer space and return credits to the sender."""
+        if self.link is None or self.link.epoch != epoch:
+            return  # buffer already resynchronized by a down transition
+        self._rx_in_use[vc_index] = max(0, self._rx_in_use[vc_index] - units)
+        peer = self.link.other(self)
+        update = self.env.timeout(self.params.propagation_delay)
+        update.callbacks.append(
+            lambda ev, p=peer, v=vc_index, u=units, e=epoch:
+            p._credit_update(v, u, e)
+        )
+
+    def _credit_update(self, vc_index: int, units: int, epoch: int) -> None:
+        if self.link is None or self.link.epoch != epoch or not self.link.up:
+            return
+        self.credits[vc_index].release(units)
+        self._wake()
+
+    # -- introspection ----------------------------------------------------
+    def queued_packets(self) -> int:
+        """Packets waiting in this port's output queues."""
+        return sum(len(vc) for vc in self._tx_vcs)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<Port {self.name} {'up' if self.is_up else 'down'}>"

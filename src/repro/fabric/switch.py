@@ -1,0 +1,139 @@
+"""Fabric switch elements: multiplexed virtual cut-through switches.
+
+A switch routes unicast packets by turn pool (forward or backward, see
+:mod:`repro.routing.turnpool`) after a fixed routing latency, acting on
+the packet head (virtual cut-through).  Packets whose forward turn
+pointer has reached zero are addressed *to* the switch itself — that is
+how the fabric manager reads a switch's configuration space.  Multicast
+packets (PI-0) are delivered to the switch's management entity, which
+implements replication (used by the FM election flood).
+"""
+
+from __future__ import annotations
+
+from ..capability import DEVICE_TYPE_SWITCH
+from ..capability.multicast import MulticastCapability
+from ..routing.tables import MulticastForwardingTable
+from ..routing.turnpool import (
+    TurnPoolError,
+    backward_egress,
+    forward_egress,
+    read_backward_turn,
+    read_forward_turn,
+)
+from .device import Device
+from .packet import PI_MULTICAST, Packet
+from .port import Port
+
+
+class Switch(Device):
+    """A fabric switch element (the paper's model uses 16 ports)."""
+
+    type_code = DEVICE_TYPE_SWITCH
+    kind = "switch"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Multicast forwarding table (paper, section 2), programmed by
+        #: the FM through the multicast capability.
+        self.mcast_table = MulticastForwardingTable(self.nports)
+        self.config_space.add(MulticastCapability(self.mcast_table))
+
+    def handle_rx(self, packet: Packet, port: Port, vc_index: int,
+                  tail_lag: float) -> None:
+        if not self.active:
+            self.stats.incr("rx_dropped_inactive")
+            Port._run_releases(packet)
+            return
+        if packet.header.pi == PI_MULTICAST:
+            # The turn-pool field of a multicast packet carries the
+            # group id.  Programmed groups replicate in hardware;
+            # unprogrammed groups fall back to the management entity's
+            # software flood (used by the election protocol).
+            group = packet.header.turn_pool & 0xFFFF
+            if group in self.mcast_table:
+                timer = self.env.timeout(self.params.routing_latency)
+                timer.callbacks.append(
+                    lambda ev: self._replicate(packet, port, group)
+                )
+            else:
+                self.consume(packet, port, tail_lag)
+            return
+        if packet.header.direction == 0 and packet.header.turn_pointer == 0:
+            # Forward route exhausted: the packet is for this switch.
+            self.consume(packet, port, tail_lag)
+            return
+        timer = self.env.timeout(self.params.routing_latency)
+        timer.callbacks.append(
+            lambda ev: self._route(packet, port)
+        )
+
+    def _route(self, packet: Packet, in_port: Port) -> None:
+        """Pick the egress port and forward (or drop on route error)."""
+        if not self.active:
+            self.stats.incr("rx_dropped_inactive")
+            Port._run_releases(packet)
+            return
+        header = packet.header
+        try:
+            if header.direction == 0:
+                turn, new_pointer = read_forward_turn(
+                    header.turn_pool, header.turn_pointer, self.nports
+                )
+                egress = forward_egress(in_port.index, turn, self.nports)
+            else:
+                turn, new_pointer = read_backward_turn(
+                    header.turn_pool, header.turn_pointer, self.nports
+                )
+                egress = backward_egress(in_port.index, turn, self.nports)
+        except TurnPoolError:
+            self.stats.incr("route_errors")
+            in_port.error_count += 1
+            if self.trace_hook is not None:
+                self.trace_hook("drop", self, in_port.index, packet,
+                                detail="turn pool error")
+            Port._run_releases(packet)
+            return
+
+        out_port = self.ports[egress]
+        if not out_port.is_up:
+            self.stats.incr("forward_drops")
+            out_port.error_count += 1
+            if self.trace_hook is not None:
+                self.trace_hook("drop", self, egress, packet,
+                                detail="egress port down")
+            Port._run_releases(packet)
+            return
+
+        header.turn_pointer = new_pointer
+        packet.hops += 1
+        self.stats.incr("forwarded")
+        if self.trace_hook is not None:
+            self.trace_hook("forward", self, egress, packet,
+                            detail=f"in={in_port.index}")
+        out_port.send(packet)
+
+    def _replicate(self, packet: Packet, in_port: Port, group: int) -> None:
+        """Hardware multicast: copy to every group port but the ingress."""
+        if not self.active:
+            self.stats.incr("rx_dropped_inactive")
+            Port._run_releases(packet)
+            return
+        egresses = self.mcast_table.egress_ports(group, in_port.index)
+        copies = 0
+        for index in egresses:
+            out_port = self.ports[index]
+            if not out_port.is_up:
+                self.stats.incr("forward_drops")
+                continue
+            clone = Packet(
+                header=packet.header.copy(),
+                payload=packet.payload,
+                src=packet.src,
+                created_at=packet.created_at,
+                hops=packet.hops + 1,
+            )
+            out_port.send(clone)
+            copies += 1
+        self.stats.incr("mcast_replicated", copies)
+        Port._run_releases(packet)

@@ -1,0 +1,138 @@
+"""Packet tracing: structured per-hop event capture.
+
+OPNET-style debugging support: attach a :class:`PacketTracer` to a
+fabric and every injection, transmission, reception, forwarding
+decision, drop, and delivery is recorded as a :class:`TraceEvent`.
+Filters keep the volume down (by PI, by device), a ring buffer bounds
+memory, and helpers reconstruct the path a given packet took — which
+is how several of this repository's own routing tests assert that
+packets really travel the route their turn pool encodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Set
+
+from .fabric import Fabric
+from .packet import Packet
+
+#: Event kinds, in rough lifecycle order.
+KINDS = ("inject", "tx", "rx", "forward", "drop", "deliver")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed packet event."""
+
+    time: float
+    kind: str
+    device: str
+    port: Optional[int]
+    packet_id: int
+    pi: int
+    detail: str = ""
+
+    def render(self) -> str:
+        port = "" if self.port is None else f".p{self.port}"
+        detail = f"  {self.detail}" if self.detail else ""
+        return (
+            f"{self.time * 1e6:12.3f}us  {self.kind:<8s} "
+            f"pkt#{self.packet_id:<6d} pi={self.pi:<3d} "
+            f"{self.device}{port}{detail}"
+        )
+
+
+class PacketTracer:
+    """Collects trace events from an attached fabric.
+
+    Parameters
+    ----------
+    limit:
+        Ring-buffer capacity; the oldest events fall off.
+    pi_filter:
+        If given, only packets with these PI values are recorded.
+    device_filter:
+        If given, only events at these device names are recorded.
+    """
+
+    def __init__(self, limit: int = 100_000,
+                 pi_filter: Optional[Iterable[int]] = None,
+                 device_filter: Optional[Iterable[str]] = None):
+        if limit < 1:
+            raise ValueError("tracer needs room for at least one event")
+        self.events: Deque[TraceEvent] = deque(maxlen=limit)
+        self.pi_filter: Optional[Set[int]] = (
+            set(pi_filter) if pi_filter is not None else None
+        )
+        self.device_filter: Optional[Set[str]] = (
+            set(device_filter) if device_filter is not None else None
+        )
+        self.dropped_by_filter = 0
+
+    # -- hook (called from the fabric hot paths) -----------------------------
+    def __call__(self, kind: str, device, port_index: Optional[int],
+                 packet: Packet, detail: str = "") -> None:
+        if self.pi_filter is not None and packet.header.pi not in self.pi_filter:
+            self.dropped_by_filter += 1
+            return
+        name = device.name
+        if self.device_filter is not None and name not in self.device_filter:
+            self.dropped_by_filter += 1
+            return
+        self.events.append(
+            TraceEvent(
+                time=device.env.now,
+                kind=kind,
+                device=name,
+                port=port_index,
+                packet_id=packet.pkt_id,
+                pi=packet.header.pi,
+                detail=detail,
+            )
+        )
+
+    # -- attachment -----------------------------------------------------------
+    def attach(self, fabric: Fabric) -> "PacketTracer":
+        """Install this tracer on every device of ``fabric``."""
+        for device in fabric.devices.values():
+            device.trace_hook = self
+        return self
+
+    @staticmethod
+    def detach(fabric: Fabric) -> None:
+        """Remove any tracer from ``fabric``."""
+        for device in fabric.devices.values():
+            device.trace_hook = None
+
+    # -- queries -----------------------------------------------------------------
+    def events_for(self, packet_id: int) -> List[TraceEvent]:
+        """All recorded events of one packet, in time order."""
+        return [e for e in self.events if e.packet_id == packet_id]
+
+    def path_of(self, packet_id: int) -> List[str]:
+        """Devices a packet visited (inject/rx/deliver events)."""
+        path: List[str] = []
+        for event in self.events_for(packet_id):
+            if event.kind in ("inject", "rx", "deliver"):
+                if not path or path[-1] != event.device:
+                    path.append(event.device)
+        return path
+
+    def counts(self) -> dict:
+        """Events recorded per kind."""
+        result = {kind: 0 for kind in KINDS}
+        for event in self.events:
+            result[event.kind] = result.get(event.kind, 0) + 1
+        return result
+
+    def render(self, last: Optional[int] = None) -> str:
+        """The trace (or its last ``last`` events) as text."""
+        events = list(self.events)
+        if last is not None:
+            events = events[-last:]
+        return "\n".join(event.render() for event in events)
+
+    def __len__(self) -> int:
+        return len(self.events)

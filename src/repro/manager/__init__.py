@@ -1,0 +1,65 @@
+"""Fabric management: the paper's primary contribution.
+
+Provides the fabric manager, its topology database, the processing
+time model of Fig. 4, the three discovery implementations of section 3,
+and the availability machinery (election, failover, path distribution,
+plus the future-work partial and collaborative discovery extensions).
+"""
+
+from .database import DatabaseError, DeviceRecord, PortRecord, TopologyDatabase
+from .discovery import (
+    ALGORITHM_CLASSES,
+    DiscoveryStats,
+    ParallelDiscovery,
+    SerialDeviceDiscovery,
+    SerialPacketDiscovery,
+    make_algorithm,
+)
+from .discovery.distributed import (
+    ClaimingParallelDiscovery,
+    CollaborativeDiscovery,
+    CollaborativeStats,
+)
+from .discovery.partial import PartialAssimilationManager
+from .election import Candidacy, Election, ElectionAgent, ElectionResult
+from .failover import FailoverReport, StandbyManager
+from .fm import FabricManager
+from .path_distribution import DistributionStats, PathDistributor
+from .timing import (
+    ALGORITHMS,
+    PARALLEL,
+    SERIAL_DEVICE,
+    SERIAL_PACKET,
+    ProcessingTimeModel,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "ALGORITHM_CLASSES",
+    "Candidacy",
+    "ClaimingParallelDiscovery",
+    "CollaborativeDiscovery",
+    "CollaborativeStats",
+    "DatabaseError",
+    "DeviceRecord",
+    "DiscoveryStats",
+    "DistributionStats",
+    "Election",
+    "ElectionAgent",
+    "ElectionResult",
+    "FabricManager",
+    "FailoverReport",
+    "PARALLEL",
+    "ParallelDiscovery",
+    "PartialAssimilationManager",
+    "PathDistributor",
+    "PortRecord",
+    "ProcessingTimeModel",
+    "SERIAL_DEVICE",
+    "SERIAL_PACKET",
+    "SerialDeviceDiscovery",
+    "SerialPacketDiscovery",
+    "StandbyManager",
+    "TopologyDatabase",
+    "make_algorithm",
+]

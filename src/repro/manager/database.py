@@ -1,0 +1,286 @@
+"""The fabric manager's topology database.
+
+During discovery the FM accumulates, per device: its general
+information (type, DSN, port count), the state of each port, the
+device's neighbours, and a source route from the FM to the device —
+"the paths that these packets need to reach fabric devices are computed
+as the topology information grows" (paper, section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..capability import DEVICE_TYPE_ENDPOINT, DEVICE_TYPE_SWITCH
+from ..routing.turnpool import Hop, TurnPool, build_turn_pool
+
+
+class DatabaseError(RuntimeError):
+    """Raised on inconsistent database updates."""
+
+
+@dataclass
+class PortRecord:
+    """What the FM knows about one port of a device."""
+
+    #: None until the port's status block has been read.
+    up: Optional[bool] = None
+    #: DSN of the device on the far side, once discovered.
+    neighbor_dsn: Optional[int] = None
+    #: Far-side port index, once known.
+    neighbor_port: Optional[int] = None
+
+
+@dataclass
+class DeviceRecord:
+    """What the FM knows about one device."""
+
+    dsn: int
+    type_code: int
+    nports: int
+    fm_capable: bool = False
+    fm_priority: int = 0
+    #: Port of this device on which FM requests arrive (None for the
+    #: FM's own endpoint).
+    ingress_port: Optional[int] = None
+    #: Switch traversals between the FM and this device (the route the
+    #: FM uses to address it).
+    route_hops: List[Hop] = field(default_factory=list)
+    #: FM-local egress port for the first link of the route.
+    out_port: int = 0
+    ports: Dict[int, PortRecord] = field(default_factory=dict)
+
+    @property
+    def is_switch(self) -> bool:
+        return self.type_code == DEVICE_TYPE_SWITCH
+
+    @property
+    def is_endpoint(self) -> bool:
+        return self.type_code == DEVICE_TYPE_ENDPOINT
+
+    def route(self) -> TurnPool:
+        """The FM -> device source route as a packed turn pool."""
+        return build_turn_pool(self.route_hops)
+
+    def port(self, index: int) -> PortRecord:
+        """The record for port ``index`` (created on first access)."""
+        if not 0 <= index < self.nports:
+            raise DatabaseError(
+                f"port {index} outside device {self.dsn:#x} "
+                f"with {self.nports} ports"
+            )
+        return self.ports.setdefault(index, PortRecord())
+
+
+class TopologyDatabase:
+    """DSN-keyed store of device records and links."""
+
+    def __init__(self):
+        self._devices: Dict[int, DeviceRecord] = {}
+
+    # -- mutation ------------------------------------------------------------
+    def clear(self) -> None:
+        """Discard everything (the paper's full-rediscovery assumption)."""
+        self._devices.clear()
+
+    def add_device(self, record: DeviceRecord) -> DeviceRecord:
+        if record.dsn in self._devices:
+            raise DatabaseError(f"device {record.dsn:#x} already known")
+        self._devices[record.dsn] = record
+        return record
+
+    def add_link(self, dsn_a: int, port_a: int, dsn_b: int,
+                 port_b: Optional[int]) -> None:
+        """Record connectivity between two known devices.
+
+        ``port_b`` may be None when the far-side port index is not yet
+        known (it is learned from the completion's arrival port).
+        """
+        rec_a = self.device(dsn_a)
+        pa = rec_a.port(port_a)
+        pa.up = True
+        pa.neighbor_dsn = dsn_b
+        pa.neighbor_port = port_b
+        rec_b = self.device(dsn_b)
+        if port_b is not None:
+            pb = rec_b.port(port_b)
+            pb.up = True
+            pb.neighbor_dsn = dsn_a
+            pb.neighbor_port = port_a
+
+    # -- queries --------------------------------------------------------------
+    def __contains__(self, dsn: int) -> bool:
+        return dsn in self._devices
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def device(self, dsn: int) -> DeviceRecord:
+        try:
+            return self._devices[dsn]
+        except KeyError:
+            raise DatabaseError(f"unknown device {dsn:#x}") from None
+
+    def devices(self) -> List[DeviceRecord]:
+        return list(self._devices.values())
+
+    def switches(self) -> List[DeviceRecord]:
+        return [r for r in self._devices.values() if r.is_switch]
+
+    def endpoints(self) -> List[DeviceRecord]:
+        return [r for r in self._devices.values() if r.is_endpoint]
+
+    # -- routes ----------------------------------------------------------------
+    def extend_route(self, parent: DeviceRecord,
+                     egress_port: int) -> Tuple[List[Hop], int]:
+        """Route to the device behind ``parent``'s ``egress_port``.
+
+        Returns ``(route_hops, fm_out_port)``.  For the FM's own
+        endpoint (no ingress), the route starts on the FM's local port
+        ``egress_port`` with zero turns; otherwise the parent switch is
+        traversed with one more turn.
+        """
+        if parent.ingress_port is None:
+            return list(parent.route_hops), egress_port
+        if not parent.is_switch:
+            raise DatabaseError(
+                f"cannot route through endpoint {parent.dsn:#x}"
+            )
+        hops = list(parent.route_hops)
+        hops.append(Hop(parent.nports, parent.ingress_port, egress_port))
+        return hops, parent.out_port
+
+    def route_to_fm(self, record: DeviceRecord) -> Tuple[TurnPool, int]:
+        """Source route *from* ``record`` back to the FM endpoint.
+
+        Returns ``(turn_pool, device_out_port)``; used to program
+        event-route capabilities.  The reverse route traverses the same
+        switches in opposite order, swapping ingress and egress.
+        """
+        if record.ingress_port is None:
+            raise DatabaseError("the FM endpoint needs no route to itself")
+        reverse_hops = [
+            Hop(hop.nports, hop.out_port, hop.in_port)
+            for hop in reversed(record.route_hops)
+        ]
+        return build_turn_pool(reverse_hops), record.ingress_port
+
+    def mark_port_down(self, dsn: int, port_index: int) -> None:
+        """Record a link failure on both sides of the link."""
+        record = self.device(dsn)
+        port = record.port(port_index)
+        port.up = False
+        neighbor = port.neighbor_dsn
+        if neighbor is not None and neighbor in self._devices:
+            far = self._devices[neighbor]
+            if port.neighbor_port is not None:
+                far.port(port.neighbor_port).up = False
+            else:
+                for candidate in far.ports.values():
+                    if candidate.neighbor_dsn == dsn:
+                        candidate.up = False
+
+    def prune_unreachable(self, root_dsn: int) -> List[int]:
+        """Drop devices no longer connected to ``root_dsn``.
+
+        Returns the DSNs removed.  Used by partial change assimilation
+        after link-down events.
+        """
+        graph = self.graph()
+        if root_dsn not in graph:
+            return []
+        keep = nx.node_connected_component(graph, root_dsn)
+        removed = [dsn for dsn in self._devices if dsn not in keep]
+        for dsn in removed:
+            del self._devices[dsn]
+        # Clear dangling neighbor references.
+        gone = set(removed)
+        for record in self._devices.values():
+            for port in record.ports.values():
+                if port.neighbor_dsn in gone:
+                    port.neighbor_dsn = None
+                    port.neighbor_port = None
+                    port.up = False
+        return removed
+
+    def recompute_routes(self, fm_dsn: int) -> None:
+        """Rebuild every record's source route from the FM.
+
+        After a partial assimilation, routes discovered through a
+        now-removed region would be stale; shortest paths over the
+        updated database replace them.
+        """
+        graph = self.graph()
+        if fm_dsn not in graph:
+            return
+        paths = nx.single_source_shortest_path(graph, fm_dsn)
+        for dsn, node_path in paths.items():
+            record = self._devices[dsn]
+            if dsn == fm_dsn:
+                record.route_hops = []
+                record.ingress_port = None
+                continue
+            hops: List[Hop] = []
+            for k in range(1, len(node_path) - 1):
+                _, in_port = self._link_ports(node_path[k - 1],
+                                              node_path[k])
+                out_port, _ = self._link_ports(node_path[k],
+                                               node_path[k + 1])
+                middle = self._devices[node_path[k]]
+                hops.append(Hop(middle.nports, in_port, out_port))
+            first_out, _ = self._link_ports(node_path[0], node_path[1])
+            _, ingress = self._link_ports(node_path[-2], node_path[-1])
+            record.route_hops = hops
+            record.out_port = first_out
+            record.ingress_port = ingress
+
+    def _link_ports(self, dsn_a: int, dsn_b: int) -> Tuple[int, int]:
+        """Ports wiring two adjacent known devices (lowest first)."""
+        record_a = self.device(dsn_a)
+        for index in sorted(record_a.ports):
+            port = record_a.ports[index]
+            if port.neighbor_dsn == dsn_b and port.up:
+                far = port.neighbor_port
+                if far is None:
+                    record_b = self.device(dsn_b)
+                    for j in sorted(record_b.ports):
+                        if record_b.ports[j].neighbor_dsn == dsn_a:
+                            far = j
+                            break
+                if far is None:
+                    raise DatabaseError(
+                        f"far port of {dsn_a:#x}->{dsn_b:#x} unknown"
+                    )
+                return index, far
+        raise DatabaseError(
+            f"no up link between {dsn_a:#x} and {dsn_b:#x}"
+        )
+
+    # -- views -----------------------------------------------------------------
+    def graph(self) -> nx.Graph:
+        """The discovered topology as a DSN-keyed networkx graph."""
+        g = nx.Graph()
+        for record in self._devices.values():
+            g.add_node(
+                record.dsn,
+                kind="switch" if record.is_switch else "endpoint",
+                nports=record.nports,
+            )
+        for record in self._devices.values():
+            for index, port in record.ports.items():
+                if port.neighbor_dsn is not None and port.up:
+                    if port.neighbor_dsn in self._devices:
+                        g.add_edge(record.dsn, port.neighbor_dsn)
+        return g
+
+    def summary(self) -> dict:
+        """Counts used by experiment reports."""
+        return {
+            "devices": len(self._devices),
+            "switches": len(self.switches()),
+            "endpoints": len(self.endpoints()),
+            "links": self.graph().number_of_edges(),
+        }

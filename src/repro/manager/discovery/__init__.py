@@ -1,0 +1,40 @@
+"""The three discovery implementations compared by the paper."""
+
+from typing import Dict, Type
+
+from ..timing import PARALLEL, SERIAL_DEVICE, SERIAL_PACKET
+from .base import DiscoveryAlgorithm, DiscoveryStats, Target
+from .parallel import ParallelDiscovery
+from .serial_device import SerialDeviceDiscovery
+from .serial_packet import SerialPacketDiscovery
+
+#: Registry of algorithm key -> implementation class.
+ALGORITHM_CLASSES: Dict[str, Type[DiscoveryAlgorithm]] = {
+    SERIAL_PACKET: SerialPacketDiscovery,
+    SERIAL_DEVICE: SerialDeviceDiscovery,
+    PARALLEL: ParallelDiscovery,
+}
+
+
+def make_algorithm(key: str, fm) -> DiscoveryAlgorithm:
+    """Instantiate the discovery algorithm named ``key`` for ``fm``."""
+    try:
+        cls = ALGORITHM_CLASSES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown discovery algorithm {key!r}; "
+            f"choose from {sorted(ALGORITHM_CLASSES)}"
+        ) from None
+    return cls(fm)
+
+
+__all__ = [
+    "ALGORITHM_CLASSES",
+    "DiscoveryAlgorithm",
+    "DiscoveryStats",
+    "ParallelDiscovery",
+    "SerialDeviceDiscovery",
+    "SerialPacketDiscovery",
+    "Target",
+    "make_algorithm",
+]

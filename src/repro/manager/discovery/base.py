@@ -1,0 +1,262 @@
+"""Shared machinery of the three discovery implementations.
+
+All three algorithms (paper, section 3) perform the same *work*:
+
+1. discover the endpoint hosting the FM (a local configuration-space
+   read);
+2. for every reachable device: read its general information (type,
+   DSN, port count) with one PI-4 read; if the DSN is already known the
+   device was reached through an alternate path — record the link and
+   stop (one packet spent, exactly as in Fig. 2);
+3. otherwise read every port's status block (one PI-4 read each) and
+   create an exploration target for each active port;
+4. finish when no work is outstanding.
+
+They differ only in *scheduling* — how many requests may be in flight:
+
+* :class:`~repro.manager.discovery.serial_packet.SerialPacketDiscovery`
+  — one packet in the fabric at any time (the ASI-SIG proposal);
+* :class:`~repro.manager.discovery.serial_device.SerialDeviceDiscovery`
+  — devices serial, port reads of the current device in parallel;
+* :class:`~repro.manager.discovery.parallel.ParallelDiscovery` —
+  propagation-order exploration, unconstrained.
+
+Subclasses implement the four scheduling hooks at the bottom of
+:class:`DiscoveryAlgorithm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ...capability import (
+    BASELINE_CAP_ID,
+    GENERAL_INFO_DWORDS,
+    decode_general_info,
+    decode_port_status,
+    port_block_offset,
+)
+from ...protocols import pi4
+from ...routing.turnpool import Hop, build_turn_pool
+from ..database import DeviceRecord
+
+
+@dataclass
+class DiscoveryStats:
+    """Everything measured about one discovery run (paper, section 4.1:
+    "the amount of management packets and bytes generated and received
+    by the FM, and the topology discovery time")."""
+
+    algorithm: str = ""
+    trigger: str = "initial"
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    requests_sent: int = 0
+    completions_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    duplicates_detected: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    abandoned_targets: int = 0
+    devices_found: int = 0
+    #: ``(packet_number, fm_time)`` per completion processed at the FM —
+    #: the Fig. 7(a) series.
+    packet_timeline: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def discovery_time(self) -> float:
+        """Seconds from discovery start to the last packet processed."""
+        if self.started_at is None or self.finished_at is None:
+            raise ValueError("discovery has not finished")
+        return self.finished_at - self.started_at
+
+    @property
+    def total_packets(self) -> int:
+        return self.requests_sent + self.completions_received
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def asdict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "trigger": self.trigger,
+            "discovery_time": self.discovery_time,
+            "devices_found": self.devices_found,
+            "requests_sent": self.requests_sent,
+            "completions_received": self.completions_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "duplicates_detected": self.duplicates_detected,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+        }
+
+
+@dataclass
+class Target:
+    """A device to explore: a route plus how we found it."""
+
+    hops: list
+    out_port: Optional[int]  # FM-local egress port; None = loopback
+    via_dsn: Optional[int] = None  # parent device
+    via_port: Optional[int] = None  # parent port leading here
+
+
+class DiscoveryAlgorithm:
+    """Base class: shared exploration logic, abstract scheduling."""
+
+    #: Algorithm key matching :mod:`repro.manager.timing`.
+    key = "abstract"
+
+    def __init__(self, fm):
+        self.fm = fm
+        self.db = fm.database
+        self.env = fm.env
+        self.stats = DiscoveryStats(algorithm=self.key)
+        self.done_event = self.env.event()
+        self._finished = False
+        self._outstanding = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, trigger: str = "initial") -> None:
+        """Begin discovery at the FM's own endpoint."""
+        self.stats.trigger = trigger
+        self.stats.started_at = self.env.now
+        self._send_general(Target(hops=[], out_port=None))
+
+    @property
+    def done(self) -> bool:
+        return self._finished
+
+    def _maybe_finish(self) -> None:
+        if self._finished or self._outstanding > 0 or self._has_backlog():
+            return
+        self._finished = True
+        self.stats.finished_at = self.env.now
+        self.stats.devices_found = len(self.db)
+        self.done_event.succeed(self.stats)
+
+    # -- request plumbing ---------------------------------------------------
+    def _send_general(self, target: Target) -> None:
+        """Read a device's six general-information dwords."""
+        pool = build_turn_pool(target.hops)
+        message = pi4.ReadRequest(
+            cap_id=BASELINE_CAP_ID, offset=0, tag=0,
+            count=GENERAL_INFO_DWORDS,
+        )
+        self._outstanding += 1
+        self.fm.send_request(
+            message, pool, target.out_port,
+            callback=self._on_general, ctx=target,
+        )
+
+    def _send_port_read(self, record: DeviceRecord, index: int) -> None:
+        """Read one port-status block of a known device."""
+        pool = record.route()
+        out = record.out_port if record.ingress_port is not None else None
+        message = pi4.ReadRequest(
+            cap_id=BASELINE_CAP_ID, offset=port_block_offset(index),
+            tag=0, count=1,
+        )
+        self._outstanding += 1
+        self.fm.send_request(
+            message, pool, out,
+            callback=self._on_port, ctx=(record, index),
+        )
+
+    # -- completion handling ---------------------------------------------------
+    def _on_general(self, completion, target: Target) -> None:
+        self._outstanding -= 1
+        if completion is None or not isinstance(completion,
+                                                pi4.ReadCompletion):
+            # Timed out or completion-with-error: the device vanished
+            # mid-discovery (or the route went stale).  Abandon.
+            self.stats.abandoned_targets += 1
+            self.on_device_done()
+            self._maybe_finish()
+            return
+
+        info = decode_general_info(list(completion.data))
+        dsn = info["dsn"]
+        arrival = (
+            None if completion.arrival_port == pi4.NO_PORT
+            else completion.arrival_port
+        )
+
+        if dsn in self.db:
+            # Reached through an alternate path (Fig. 2 decision box):
+            # update connectivity only, one packet spent.
+            self.stats.duplicates_detected += 1
+            if target.via_dsn is not None:
+                self.db.add_link(target.via_dsn, target.via_port, dsn,
+                                 arrival)
+            self.on_device_done()
+            self._maybe_finish()
+            return
+
+        record = DeviceRecord(
+            dsn=dsn,
+            type_code=info["type_code"],
+            nports=info["nports"],
+            fm_capable=info["fm_capable"],
+            fm_priority=info["fm_priority"],
+            ingress_port=arrival,
+            route_hops=target.hops,
+            out_port=target.out_port if target.out_port is not None else 0,
+        )
+        self.db.add_device(record)
+        if target.via_dsn is not None:
+            self.db.add_link(target.via_dsn, target.via_port, dsn, arrival)
+
+        # Fig. 2: "read the additional attributes from the device's
+        # configuration space" — one read per port block.
+        self.on_new_device(record)
+        self._maybe_finish()
+
+    def _on_port(self, completion, ctx) -> None:
+        self._outstanding -= 1
+        record, index = ctx
+        port = record.port(index)
+        if completion is None or not isinstance(completion,
+                                                pi4.ReadCompletion):
+            port.up = False  # unknowable; treat as inactive
+            self.stats.abandoned_targets += 1
+        else:
+            status = decode_port_status(completion.data[0])
+            port.up = status["up"]
+            if status["up"] and index != record.ingress_port:
+                # "An active port indicates that there is a live device
+                # attached to the other end" — explore it.
+                hops, out_port = self.db.extend_route(record, index)
+                self.on_new_target(
+                    Target(hops=hops, out_port=out_port,
+                           via_dsn=record.dsn, via_port=index)
+                )
+        self.on_port_done(record, index)
+        self._maybe_finish()
+
+    # -- scheduling hooks (implemented by subclasses) ------------------------
+    def on_new_device(self, record: DeviceRecord) -> None:
+        """A new device's general info arrived; schedule its port reads."""
+        raise NotImplementedError
+
+    def on_new_target(self, target: Target) -> None:
+        """An active port revealed a device to explore; schedule it."""
+        raise NotImplementedError
+
+    def on_port_done(self, record: DeviceRecord, index: int) -> None:
+        """A port read finished (hook for serial pacing)."""
+        raise NotImplementedError
+
+    def on_device_done(self) -> None:
+        """A general read finished without port reads (duplicate or
+        abandoned target); hook for serial pacing."""
+        raise NotImplementedError
+
+    def _has_backlog(self) -> bool:
+        """Whether scheduling state still holds deferred work."""
+        raise NotImplementedError

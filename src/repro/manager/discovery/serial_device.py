@@ -1,0 +1,60 @@
+"""Serial Device discovery: the authors' improved serialized algorithm.
+
+"Devices are discovered serially, but internal ports are checked in
+parallel ... the information about the ports in a device is obtained in
+a parallel way, by sending concurrently all the necessary PI-4 read
+request packets" (paper, section 3.2).  The Fig. 2 flow chart still
+applies; only the port-read phase is concurrent, which overlaps each
+request's round trip with the FM's processing of the previous
+completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..database import DeviceRecord
+from ..timing import SERIAL_DEVICE
+from .base import DiscoveryAlgorithm, Target
+
+
+class SerialDeviceDiscovery(DiscoveryAlgorithm):
+    """Serial device exploration with concurrent per-device port reads."""
+
+    key = SERIAL_DEVICE
+
+    def __init__(self, fm):
+        super().__init__(fm)
+        self._queue: Deque[Target] = deque()
+        self._ports_pending: int = 0
+
+    # -- scheduling hooks ---------------------------------------------------
+    def on_new_device(self, record: DeviceRecord) -> None:
+        # Burst all port reads for this device at once.
+        self._ports_pending = record.nports
+        if record.nports == 0:  # defensive; devices have >= 1 port
+            self._advance()
+            return
+        for index in range(record.nports):
+            self._send_port_read(record, index)
+
+    def on_new_target(self, target: Target) -> None:
+        self._queue.append(target)
+
+    def on_port_done(self, record: DeviceRecord, index: int) -> None:
+        self._ports_pending -= 1
+        if self._ports_pending == 0:
+            self._advance()
+
+    def on_device_done(self) -> None:
+        self._advance()
+
+    # -- pacing ------------------------------------------------------------
+    def _advance(self) -> None:
+        """Move on to the next queued device, if any."""
+        if self._queue:
+            self._send_general(self._queue.popleft())
+
+    def _has_backlog(self) -> bool:
+        return bool(self._queue)

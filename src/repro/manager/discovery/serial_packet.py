@@ -1,0 +1,72 @@
+"""Serial Packet discovery: the ASI-SIG serialized proposal (Fig. 2).
+
+"Once the algorithm starts discovering a device in the fabric, it reads
+all the necessary information from its device configuration space,
+using a sequential and synchronized way, before it proceeds to discover
+additional devices.  In other words, in this algorithm there is only a
+request packet in the fabric in every moment in time."  Exploration is
+breadth-first over an exploration queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..database import DeviceRecord
+from ..timing import SERIAL_PACKET
+from .base import DiscoveryAlgorithm, Target
+
+
+class SerialPacketDiscovery(DiscoveryAlgorithm):
+    """One outstanding PI-4 request at all times."""
+
+    key = SERIAL_PACKET
+
+    def __init__(self, fm):
+        super().__init__(fm)
+        #: The Fig. 2 "Device Queue".
+        self._queue: Deque[Target] = deque()
+        #: Device whose ports are currently being read, if any.
+        self._current: Optional[DeviceRecord] = None
+        self._next_port: int = 0
+
+    # -- scheduling hooks ---------------------------------------------------
+    def on_new_device(self, record: DeviceRecord) -> None:
+        # Start reading this device's ports, one request at a time.
+        self._current = record
+        self._next_port = 0
+        self._advance()
+
+    def on_new_target(self, target: Target) -> None:
+        # Discovered devices wait in the queue until the current device
+        # is fully read.
+        self._queue.append(target)
+
+    def on_port_done(self, record: DeviceRecord, index: int) -> None:
+        self._advance()
+
+    def on_device_done(self) -> None:
+        # Duplicate or abandoned target: nothing more to read there.
+        self._current = None
+        self._advance()
+
+    # -- pacing ------------------------------------------------------------
+    def _advance(self) -> None:
+        """Issue exactly one next request, if any work remains."""
+        if self._outstanding > 0:
+            return  # the single allowed packet is already in flight
+        if self._current is not None:
+            if self._next_port < self._current.nports:
+                index = self._next_port
+                self._next_port += 1
+                self._send_port_read(self._current, index)
+                return
+            self._current = None
+        if self._queue:
+            self._send_general(self._queue.popleft())
+
+    def _has_backlog(self) -> bool:
+        if self._current is not None and self._next_port < self._current.nports:
+            return True
+        return bool(self._queue)

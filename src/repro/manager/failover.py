@@ -1,0 +1,122 @@
+"""Fabric-manager failover.
+
+"If the primary FM fails, the secondary one takes over" (paper,
+section 2).  The secondary runs in standby: it periodically reads one
+dword of the primary's baseline capability (a heartbeat built from the
+same PI-4 machinery as discovery).  After ``miss_threshold``
+consecutive heartbeats time out, the standby promotes itself and runs
+a full discovery — from its own vantage point, so all routes are
+recomputed relative to the new manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..capability import BASELINE_CAP_ID
+from ..protocols import pi4
+from ..routing.turnpool import TurnPool
+from ..sim.events import Event
+from .fm import FabricManager
+
+
+@dataclass
+class FailoverReport:
+    """What happened during a takeover."""
+
+    detected_at: float
+    discovery_done_at: float
+    missed_heartbeats: int
+
+    @property
+    def recovery_time(self) -> float:
+        """Seconds from failure detection to a fresh topology."""
+        return self.discovery_done_at - self.detected_at
+
+
+class StandbyManager:
+    """A secondary FM in standby, monitoring the primary."""
+
+    def __init__(self, fm: FabricManager,
+                 primary_route: Tuple[TurnPool, int],
+                 heartbeat_interval: float = 2e-3,
+                 miss_threshold: int = 3):
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss threshold must be at least 1")
+        #: The wrapped manager (construct it with ``auto_start=False``
+        #: so it stays passive until promoted).
+        self.fm = fm
+        self.env = fm.env
+        self.primary_pool, self.primary_out_port = primary_route
+        self.heartbeat_interval = heartbeat_interval
+        self.miss_threshold = miss_threshold
+
+        self.active = False
+        self.misses = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_answered = 0
+        #: Triggers with a :class:`FailoverReport` after a takeover's
+        #: discovery completes.
+        self.takeover_event: Event = self.env.event()
+        self._proc = None
+        self._detected_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Begin monitoring the primary."""
+        if self._proc is not None:
+            raise RuntimeError("standby already started")
+        self._proc = self.env.process(
+            self._monitor(), name=f"standby:{self.fm.endpoint.name}"
+        )
+
+    # -- monitoring loop ------------------------------------------------------
+    def _monitor(self):
+        while not self.active:
+            yield self.env.timeout(self.heartbeat_interval)
+            if self.active:
+                return
+            reply_event = self.env.event()
+            message = pi4.ReadRequest(
+                cap_id=BASELINE_CAP_ID, offset=0, tag=0, count=1,
+            )
+            self.heartbeats_sent += 1
+            self.fm.send_request(
+                message, self.primary_pool, self.primary_out_port,
+                callback=lambda completion, _ctx: reply_event.succeed(
+                    completion
+                ),
+            )
+            completion = yield reply_event
+            if completion is None or not isinstance(completion,
+                                                    pi4.ReadCompletion):
+                self.misses += 1
+                if self.misses >= self.miss_threshold:
+                    self._take_over()
+                    return
+            else:
+                self.heartbeats_answered += 1
+                self.misses = 0
+
+    def _take_over(self) -> None:
+        """Promote this standby to active fabric manager."""
+        self.active = True
+        self._detected_at = self.env.now
+        discovery = self.fm.start_discovery(trigger="failover")
+
+        def finished(event):
+            report = FailoverReport(
+                detected_at=self._detected_at,
+                discovery_done_at=self.env.now,
+                missed_heartbeats=self.misses,
+            )
+            if not self.takeover_event.triggered:
+                self.takeover_event.succeed(report)
+
+        discovery.done_event.callbacks.append(finished)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "ACTIVE" if self.active else "standby"
+        return f"<StandbyManager {self.fm.endpoint.name} {state}>"

@@ -1,0 +1,406 @@
+"""The fabric manager (FM).
+
+A software entity running on a fabric endpoint (paper, section 2).
+This class implements the management behaviour the paper studies:
+
+* it owns the topology database and runs one of the three discovery
+  implementations over the fabric;
+* it processes every inbound management packet serially, spending the
+  algorithm-dependent ``T_FM`` per packet (charged by the hosting
+  :class:`~repro.protocols.entity.ManagementEntity`);
+* it reacts to PI-5 events by starting the change assimilation process
+  — a full rediscovery that discards all previously collected
+  information (the paper's stated assumption);
+* after a discovery it programs every device's event-route capability
+  so future PI-5 notifications can reach it;
+* it retries requests that time out, so discovery terminates even if a
+  device dies mid-discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Dict, List, Optional
+
+from ..capability import EVENT_ROUTE_CAP_ID, EventRouteCapability
+from ..fabric.endpoint import Endpoint
+from ..fabric.packet import PI_DEVICE_MANAGEMENT, PI_EVENT, Packet
+from ..protocols import pi4, pi5
+from ..protocols.entity import ManagementEntity
+from ..routing.turnpool import TurnPool
+from ..sim.monitor import Counter
+from .database import TopologyDatabase
+from .discovery import make_algorithm
+from .discovery.base import DiscoveryAlgorithm, DiscoveryStats
+from .timing import PARALLEL, ProcessingTimeModel
+
+
+@dataclass
+class _Pending:
+    """One outstanding request awaiting its completion."""
+
+    tag: int
+    message: Any
+    pool: TurnPool
+    out_port: Optional[int]
+    callback: Callable
+    ctx: Any
+    retries_left: int
+    stats: Optional[DiscoveryStats]
+    timeout: float = 1e-3
+    #: Set when the completion reaches the FM endpoint (it may still
+    #: wait in the FM's serial processing queue).  Timeouts measure the
+    #: fabric round trip, not the FM's own backlog.
+    arrived: bool = False
+
+
+class FabricManager:
+    """The primary fabric manager, hosted on ``endpoint``."""
+
+    def __init__(self, endpoint: Endpoint, entity: ManagementEntity,
+                 timing: Optional[ProcessingTimeModel] = None,
+                 algorithm: str = PARALLEL,
+                 request_timeout: float = 1e-3,
+                 max_retries: int = 3,
+                 program_event_routes: bool = True,
+                 auto_start: bool = True,
+                 arrival_clears_timeout: bool = True,
+                 parallel_window: Optional[int] = None):
+        if not endpoint.fm_capable:
+            raise ValueError(f"{endpoint.name} is not FM capable")
+        self.endpoint = endpoint
+        self.entity = entity
+        self.env = endpoint.env
+        self.timing = timing or ProcessingTimeModel()
+        self.algorithm_key = algorithm
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.program_event_routes = program_event_routes
+        #: Whether a completion reaching the FM endpoint clears its
+        #: request timer even while it waits in the FM's serial
+        #: processing queue.  Disabling this reproduces a retry storm
+        #: under the Parallel algorithm on large fabrics (the FM's own
+        #: backlog exceeds the timeout) — kept as an ablation switch.
+        self.arrival_clears_timeout = arrival_clears_timeout
+        #: Optional bound on the Parallel algorithm's outstanding
+        #: requests (None = unbounded, the paper's Fig. 3).
+        self.parallel_window = parallel_window
+        #: Whether the FM reacts to port events before any explicit
+        #: discovery — with it on, fabric power-up triggers the initial
+        #: discovery by itself ("the topology discovery process is
+        #: triggered after fabric initialization").
+        self._enabled = auto_start
+
+        self.database = TopologyDatabase()
+        self.discovery: Optional[DiscoveryAlgorithm] = None
+        #: Stats of every completed discovery, in order.
+        self.history: List[DiscoveryStats] = []
+        #: Triggers when the current discovery's event routes are
+        #: programmed (or immediately after discovery if disabled).
+        self.ready_event = None
+        #: Callbacks invoked with the stats of each finished discovery.
+        self.on_discovery_complete: List[Callable[[DiscoveryStats], None]] = []
+        self.counters = Counter()
+        #: Accumulated FM busy time and packet count (Fig. 4 data).
+        self.processing_time_total = 0.0
+        self.processing_packets = 0
+
+        self._pending: Dict[int, _Pending] = {}
+        self._tags = count(1)
+        #: PI-5 events that arrived while a discovery was running.
+        #: They are re-checked against the fresh database when the run
+        #: finishes; any not yet reflected trigger one more discovery
+        #: (a change in a region the run had already read would
+        #: otherwise be lost forever).
+        self._deferred_events: List[pi5.PortEvent] = []
+
+        entity.manager = self
+
+    # -- cost model (paper Fig. 4) -----------------------------------------
+    def packet_cost(self, packet: Packet) -> float:
+        """FM time to process one management packet."""
+        cost = self.timing.fm_time(self.algorithm_key, len(self.database))
+        self._record_cost(cost)
+        return cost
+
+    def _record_cost(self, cost: float) -> None:
+        """Accumulate FM busy time (the measured Fig. 4 quantity)."""
+        self.processing_time_total += cost
+        self.processing_packets += 1
+
+    def mean_processing_time(self) -> float:
+        """Average FM time per processed packet so far (Fig. 4)."""
+        if self.processing_packets == 0:
+            raise RuntimeError("the FM has not processed any packet yet")
+        return self.processing_time_total / self.processing_packets
+
+    # -- request layer ------------------------------------------------------
+    def send_request(self, message, pool: TurnPool,
+                     out_port: Optional[int], callback: Callable,
+                     ctx: Any = None, retries: Optional[int] = None,
+                     timeout: Optional[float] = None) -> int:
+        """Send a PI-4 request; ``callback(completion_or_None, ctx)``.
+
+        The completion (or ``None`` after the retries are exhausted) is
+        delivered after the FM has been charged its per-packet
+        processing time.  ``retries``/``timeout`` override the FM-wide
+        defaults (used for cheap liveness probes).
+        """
+        tag = next(self._tags)
+        message = self._retag(message, tag)
+        stats = self._active_stats()
+        entry = _Pending(
+            tag=tag, message=message, pool=pool, out_port=out_port,
+            callback=callback, ctx=ctx,
+            retries_left=self.max_retries if retries is None else retries,
+            stats=stats,
+            timeout=self.request_timeout if timeout is None else timeout,
+        )
+        self._pending[tag] = entry
+        self._transmit(entry)
+        return tag
+
+    @staticmethod
+    def _retag(message, tag: int):
+        from dataclasses import replace
+
+        return replace(message, tag=tag)
+
+    def _transmit(self, entry: _Pending) -> None:
+        packet = self.entity.send_pi4(
+            entry.message, entry.pool.pool, entry.pool.bits, entry.out_port
+        )
+        self.counters.incr("requests_sent")
+        if entry.stats is not None:
+            entry.stats.requests_sent += 1
+            entry.stats.bytes_sent += packet.size_bytes(
+                self.endpoint.params.framing_overhead,
+                self.endpoint.params.pcrc_bytes,
+            )
+        timer = self.env.timeout(entry.timeout)
+        timer.callbacks.append(
+            lambda ev, tag=entry.tag: self._on_timeout(tag)
+        )
+
+    def note_packet_arrival(self, packet: Packet) -> None:
+        """Called by the entity when a management packet is enqueued at
+        the FM endpoint (before the FM's serial processing)."""
+        if not self.arrival_clears_timeout:
+            return
+        if packet.header.pi != PI_DEVICE_MANAGEMENT:
+            return
+        try:
+            message = pi4.decode(packet.payload)
+        except pi4.Pi4Error:
+            return
+        entry = self._pending.get(message.tag)
+        if entry is not None:
+            entry.arrived = True
+
+    def _on_timeout(self, tag: int) -> None:
+        entry = self._pending.get(tag)
+        if entry is None:
+            return  # completed (or superseded) in the meantime
+        if entry.arrived:
+            return  # response is queued at the FM; not a fabric loss
+        if entry.retries_left > 0:
+            entry.retries_left -= 1
+            self.counters.incr("retries")
+            if entry.stats is not None:
+                entry.stats.retries += 1
+            self._transmit(entry)
+            return
+        del self._pending[tag]
+        self.counters.incr("timeouts")
+        if entry.stats is not None:
+            entry.stats.timeouts += 1
+        entry.callback(None, entry.ctx)
+
+    def _active_stats(self) -> Optional[DiscoveryStats]:
+        if self.discovery is not None and not self.discovery.done:
+            return self.discovery.stats
+        return None
+
+    # -- inbound management packets ---------------------------------------
+    def handle_management_packet(self, packet: Packet,
+                                 port) -> None:
+        """Called by the entity after charging the FM processing time."""
+        if packet.header.pi == PI_EVENT:
+            try:
+                event = pi5.decode(packet.payload)
+            except pi5.Pi5Error:
+                self.counters.incr("pi5_decode_errors")
+                return
+            self.counters.incr("pi5_received")
+            self._handle_event(event)
+            return
+        if packet.header.pi != PI_DEVICE_MANAGEMENT:
+            self.counters.incr("unknown_pi")
+            return
+        message = packet.meta.get("pi4_msg")
+        if message is None:
+            message = pi4.decode(packet.payload)
+        if not pi4.is_completion(message):
+            self.counters.incr("unexpected_requests")
+            return
+        entry = self._pending.pop(message.tag, None)
+        if entry is None:
+            self.counters.incr("stale_completions")
+            return
+        self.counters.incr("completions_received")
+        stats = entry.stats
+        if stats is not None:
+            stats.completions_received += 1
+            stats.bytes_received += packet.size_bytes(
+                self.endpoint.params.framing_overhead,
+                self.endpoint.params.pcrc_bytes,
+            )
+            # Fig. 7(a): the simulation time at which the FM finished
+            # processing each discovery packet.
+            stats.packet_timeline.append(
+                (stats.completions_received, self.env.now)
+            )
+        entry.callback(message, entry.ctx)
+
+    # -- PI-5 events / change assimilation ----------------------------------
+    def handle_local_event(self, event: pi5.PortEvent) -> None:
+        """Port event on the FM's own endpoint (no packet needed)."""
+        self.counters.incr("local_events")
+        self._handle_event(event)
+
+    def _handle_event(self, event: pi5.PortEvent) -> None:
+        if not self._enabled:
+            self.counters.incr("events_before_enable")
+            return
+        if self.discovery is not None and not self.discovery.done:
+            # The running discovery reads live port state, so it *may*
+            # observe this change — unless it already passed through
+            # that region.  Defer and re-check when it finishes.
+            self.counters.incr("events_during_discovery")
+            self._deferred_events.append(event)
+            return
+        if event.reporter_dsn in self.database:
+            record = self.database.device(event.reporter_dsn)
+            known = record.ports.get(event.port)
+            if known is not None and known.up == event.up:
+                self.counters.incr("events_stale")
+                return
+        self.counters.incr("changes_assimilated")
+        trigger = "initial" if not self.history else "change"
+        self.start_discovery(trigger=trigger)
+
+    # -- discovery ------------------------------------------------------------
+    @property
+    def is_discovering(self) -> bool:
+        return self.discovery is not None and not self.discovery.done
+
+    def start_discovery(self, trigger: str = "initial",
+                        force: bool = False) -> DiscoveryAlgorithm:
+        """Discard the database and run a full discovery.
+
+        Returns the algorithm instance; wait on its ``done_event`` for
+        the :class:`DiscoveryStats`.
+        """
+        self._enabled = True
+        if self.is_discovering:
+            if not force:
+                raise RuntimeError("discovery already in progress")
+            self._pending.clear()
+        self.database.clear()
+        if self.ready_event is None or self.ready_event.triggered:
+            # Keep a pending ready_event across immediate restarts so
+            # waiters see "ready" only once the fabric is quiescent.
+            self.ready_event = self.env.event()
+        algorithm = make_algorithm(self.algorithm_key, self)
+        self.discovery = algorithm
+        algorithm.done_event.callbacks.append(self._discovery_finished)
+        algorithm.start(trigger=trigger)
+        return algorithm
+
+    def _event_assimilated(self, event: pi5.PortEvent) -> bool:
+        """Whether the (fresh) database already reflects ``event``."""
+        if event.reporter_dsn in self.database:
+            record = self.database.device(event.reporter_dsn)
+            known = record.ports.get(event.port)
+            return known is not None and known.up == event.up
+        # Unknown reporter: a down event there is moot (the device is
+        # unreachable anyway), but an up event means something appeared
+        # that the run missed.
+        return not event.up
+
+    def _discovery_finished(self, event) -> None:
+        stats: DiscoveryStats = event.value
+        self.history.append(stats)
+        for callback in list(self.on_discovery_complete):
+            callback(stats)
+        deferred, self._deferred_events = self._deferred_events, []
+        if any(not self._event_assimilated(e) for e in deferred):
+            # A change arrived mid-run in a region the run had already
+            # covered: go again (event routes will be programmed by the
+            # final, quiescent run).
+            self.counters.incr("discovery_restarts")
+            self.start_discovery(trigger="change")
+            return
+        if self.program_event_routes:
+            self.env.process(
+                self._program_event_routes(),
+                name=f"fm-routes:{self.endpoint.name}",
+            )
+        else:
+            self.ready_event.succeed(stats)
+
+    def _program_event_routes(self):
+        """Write every device's route back to the FM (PI-4 writes)."""
+        ready = self.ready_event
+        outstanding = [0]
+        all_sent = [False]
+        done = self.env.event()
+
+        def on_write_done(completion, ctx) -> None:
+            outstanding[0] -= 1
+            if completion is None:
+                self.counters.incr("event_route_write_failures")
+            else:
+                self.counters.incr("event_routes_programmed")
+            if all_sent[0] and outstanding[0] == 0 and not done.triggered:
+                done.succeed()
+
+        records = [
+            r for r in self.database.devices() if r.ingress_port is not None
+        ]
+        for record in records:
+            pool, out_port = self.database.route_to_fm(record)
+            values = EventRouteCapability.encode(
+                pool.pool, pool.bits, out_port
+            )
+            message = pi4.WriteRequest(
+                cap_id=EVENT_ROUTE_CAP_ID, offset=0, tag=0,
+                data=tuple(values),
+            )
+            outstanding[0] += 1
+            self.send_request(
+                message, record.route(), record.out_port,
+                callback=on_write_done,
+            )
+        all_sent[0] = True
+        if outstanding[0] == 0:
+            done.succeed()
+        yield done
+        if not ready.triggered:
+            ready.succeed(self.history[-1] if self.history else None)
+
+    # -- views -----------------------------------------------------------------
+    def last_stats(self) -> DiscoveryStats:
+        """Stats of the most recent completed discovery."""
+        if not self.history:
+            raise RuntimeError("no discovery has completed yet")
+        return self.history[-1]
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "discovering" if self.is_discovering else "idle"
+        return (
+            f"<FabricManager on {self.endpoint.name} "
+            f"[{self.algorithm_key}] {state}, "
+            f"{len(self.database)} devices known>"
+        )

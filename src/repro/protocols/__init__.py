@@ -1,0 +1,11 @@
+"""Fabric-management protocols: PI-4 (configuration) and PI-5 (events)."""
+
+from . import pi4, pi5
+from .entity import DEFAULT_DEVICE_PROCESSING_TIME, ManagementEntity
+
+__all__ = [
+    "DEFAULT_DEVICE_PROCESSING_TIME",
+    "ManagementEntity",
+    "pi4",
+    "pi5",
+]

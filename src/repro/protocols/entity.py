@@ -1,0 +1,281 @@
+"""The per-device management entity.
+
+Every fabric device runs a management entity: a single-threaded agent
+that processes incoming management packets serially.  For PI-4
+*requests* it executes the configuration-space access and returns a
+completion along the reversed route, spending ``T_Device`` of
+processing time per packet — the quantity the paper scales with the
+*device processing factor* (Figs. 8-9).  The paper notes this time is
+low and independent of the discovery algorithm and the network size,
+because the work is always "return a response packet including the
+requested information" (section 4.1).
+
+At the endpoint hosting the fabric manager, the same entity delivers
+PI-4 *completions* and PI-5 *events* to the attached manager, charging
+the manager's (algorithm-dependent) processing time instead — the
+quantity scaled by the *FM processing factor*.
+
+The entity also implements PI-5 emission: when a local port changes
+state it sends an event to the FM along the route stored in the
+event-route capability, and it exposes a multicast hook used by the
+election protocol's controlled flood.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Optional
+
+from ..capability import EVENT_ROUTE_CAP_ID, ConfigSpaceError
+from ..fabric.device import Device
+from ..fabric.packet import (
+    PI_APPLICATION,
+    PI_DEVICE_MANAGEMENT,
+    PI_EVENT,
+    PI_MULTICAST,
+    Packet,
+    make_management_header,
+)
+from ..fabric.params import MANAGEMENT_TC
+from ..fabric.port import Port
+from ..sim.monitor import Counter
+from ..sim.resources import Store
+from . import pi4, pi5
+
+#: Default time a device's management entity spends on one PI-4 packet.
+#: Matches the scale the paper reports in Fig. 4 (a few microseconds,
+#: profiled on a 3 GHz Pentium 4).
+DEFAULT_DEVICE_PROCESSING_TIME = 2.5e-6
+
+
+class ManagementEntity:
+    """Serial management-packet processor attached to a device."""
+
+    def __init__(self, device: Device,
+                 processing_time: float = DEFAULT_DEVICE_PROCESSING_TIME,
+                 processing_factor: float = 1.0):
+        if processing_factor <= 0:
+            raise ValueError("processing factor must be positive")
+        self.device = device
+        self.env = device.env
+        self.processing_time = processing_time
+        self.processing_factor = processing_factor
+        self.stats = Counter()
+        #: Attached fabric manager (duck-typed): must provide
+        #: ``packet_cost(packet) -> float`` and
+        #: ``handle_management_packet(packet, port) -> None``.
+        self.manager = None
+        #: Handler for multicast packets: ``handler(packet, port)``.
+        self.flood_handler: Optional[Callable[[Packet, Optional[Port]], None]] = None
+        #: Handler for encapsulated application data.  Application
+        #: packets cost the management entity nothing — they are
+        #: consumed by the host, not the management firmware.
+        self.app_handler: Optional[Callable[[Packet, Optional[Port]], None]] = None
+        self._event_seq = count(1)
+        self._inbox = Store(self.env)
+
+        device.local_handler = self._enqueue
+        device.port_state_observer = self._on_port_state
+        self._proc = self.env.process(
+            self._loop(), name=f"mgmt:{device.name}"
+        )
+
+    # -- costs -------------------------------------------------------------
+    @property
+    def device_time(self) -> float:
+        """Per-packet processing time after applying the factor.
+
+        The factor is a *speed* multiplier (paper, section 4.2): a
+        factor of 2 halves the time, 0.2 makes devices five times
+        slower.
+        """
+        return self.processing_time / self.processing_factor
+
+    def _cost(self, packet: Packet, message) -> float:
+        if packet.header.pi == PI_APPLICATION:
+            return 0.0
+        if packet.header.pi == PI_DEVICE_MANAGEMENT and message is not None:
+            if pi4.is_request(message):
+                return self.device_time
+            if self.manager is not None:
+                return self.manager.packet_cost(packet)
+            return self.device_time
+        if packet.header.pi == PI_EVENT and self.manager is not None:
+            return self.manager.packet_cost(packet)
+        return self.device_time
+
+    # -- inbound path ------------------------------------------------------
+    def _enqueue(self, packet: Packet, port: Optional[Port]) -> None:
+        self.stats.incr("rx_mgmt_packets")
+        if self.manager is not None:
+            # Let the manager clear request timers at arrival time; the
+            # packet still waits for its serial processing slot.
+            self.manager.note_packet_arrival(packet)
+        self._inbox.put((packet, port))
+
+    def _loop(self):
+        while True:
+            packet, port = yield self._inbox.get()
+            message = None
+            if packet.header.pi == PI_DEVICE_MANAGEMENT:
+                try:
+                    message = pi4.decode(packet.payload)
+                except pi4.Pi4Error:
+                    self.stats.incr("pi4_decode_errors")
+                    continue
+                packet.meta["pi4_msg"] = message
+            cost = self._cost(packet, message)
+            if cost > 0:
+                yield self.env.timeout(cost)
+            self._dispatch(packet, port, message)
+
+    def _dispatch(self, packet: Packet, port: Optional[Port],
+                  message) -> None:
+        pi = packet.header.pi
+        if pi == PI_DEVICE_MANAGEMENT:
+            if pi4.is_request(message):
+                self._serve_request(packet, port, message)
+            elif self.manager is not None:
+                self.manager.handle_management_packet(packet, port)
+            else:
+                self.stats.incr("unexpected_completions")
+        elif pi == PI_EVENT:
+            if self.manager is not None:
+                self.manager.handle_management_packet(packet, port)
+            else:
+                self.stats.incr("events_without_manager")
+        elif pi == PI_MULTICAST:
+            if self.flood_handler is not None:
+                self.flood_handler(packet, port)
+            else:
+                self.stats.incr("multicast_without_handler")
+        elif pi == PI_APPLICATION:
+            self.stats.incr("app_packets")
+            if self.app_handler is not None:
+                self.app_handler(packet, port)
+        else:
+            self.stats.incr("unknown_pi")
+
+    # -- PI-4 service (device side) ---------------------------------------
+    def _serve_request(self, packet: Packet, port: Optional[Port],
+                       message) -> None:
+        space = self.device.config_space
+        arrival = port.index if port is not None else pi4.NO_PORT
+        common = dict(cap_id=message.cap_id, offset=message.offset,
+                      tag=message.tag, arrival_port=arrival)
+        if message.msg_type == pi4.MSG_READ_REQUEST:
+            try:
+                data = space.read(message.cap_id, message.offset,
+                                  message.count)
+                reply = pi4.ReadCompletion(data=tuple(data), **common)
+                self.stats.incr("reads_served")
+            except ConfigSpaceError as exc:
+                reply = pi4.ReadError(status=exc.status, **common)
+                self.stats.incr("read_errors")
+        else:  # write request
+            try:
+                space.write(message.cap_id, message.offset,
+                            list(message.data))
+                status = pi4.STATUS_OK
+                self.stats.incr("writes_served")
+            except ConfigSpaceError as exc:
+                status = exc.status
+                self.stats.incr("write_errors")
+            reply = pi4.WriteCompletion(status=status, **common)
+        if port is None:
+            # Request was issued locally (FM reading its own endpoint);
+            # deliver the completion locally too.
+            self._enqueue(self._completion_packet(packet, reply), None)
+        else:
+            self.device.inject(
+                self._completion_packet(packet, reply), port.index
+            )
+
+    @staticmethod
+    def _completion_packet(request: Packet, reply) -> Packet:
+        return Packet(header=request.header.reversed(), payload=reply.pack())
+
+    # -- PI-4 emission (manager side) ----------------------------------------
+    def send_pi4(self, message, turn_pool: int, turn_pointer: int,
+                 out_port: Optional[int] = 0) -> Packet:
+        """Send a PI-4 message along an explicit source route.
+
+        A zero-turn route (``turn_pointer == 0``) is still a real route:
+        it addresses the device directly attached to ``out_port``.  Pass
+        ``out_port=None`` to address the *local* device instead — the
+        request is looped back through the inbox, modelling the FM
+        reading its own endpoint's configuration space.
+        """
+        header = make_management_header(
+            turn_pool, turn_pointer, pi=PI_DEVICE_MANAGEMENT,
+            tc=MANAGEMENT_TC,
+        )
+        packet = Packet(header=header, payload=message.pack(),
+                        src=self.device.name, created_at=self.env.now)
+        self.stats.incr("pi4_sent")
+        if out_port is None:
+            self._enqueue(packet, None)
+        else:
+            self.device.inject(packet, out_port)
+        return packet
+
+    # -- PI-5 emission -----------------------------------------------------
+    def _on_port_state(self, device: Device, port: Port, up: bool) -> None:
+        self.stats.incr("port_events_seen")
+        self.report_port_event(port, up)
+
+    def report_port_event(self, port: Port, up: bool) -> None:
+        """Send a PI-5 notification to the FM, if a route is known."""
+        if self.manager is not None:
+            # The FM endpoint observes its own port events directly.
+            event = pi5.PortEvent(
+                reporter_dsn=self.device.dsn, port=port.index, up=up,
+                seq=next(self._event_seq),
+            )
+            self.manager.handle_local_event(event)
+            return
+        cap = self.device.config_space.capability(EVENT_ROUTE_CAP_ID)
+        route = cap.get_route()
+        if route is None:
+            self.stats.incr("events_unroutable")
+            return
+        turn_pool, turn_pointer, out_port = route
+        event = pi5.PortEvent(
+            reporter_dsn=self.device.dsn, port=port.index, up=up,
+            seq=next(self._event_seq),
+        )
+        header = make_management_header(
+            turn_pool, turn_pointer, pi=PI_EVENT, tc=MANAGEMENT_TC,
+        )
+        packet = Packet(header=header, payload=event.pack(),
+                        src=self.device.name, created_at=self.env.now)
+        out = self.device.ports[out_port]
+        if not out.is_up:
+            self.stats.incr("events_unroutable")
+            return
+        self.stats.incr("pi5_sent")
+        self.device.inject(packet, out_port)
+
+    # -- multicast emission -----------------------------------------------
+    def send_multicast(self, payload: bytes, tc: int = MANAGEMENT_TC,
+                       exclude_port: Optional[int] = None) -> int:
+        """Flood a multicast packet out of every up port.
+
+        Returns the number of copies sent.  Used by the election
+        protocol; loop suppression is the flood handler's job.
+        """
+        sent = 0
+        for port in self.device.ports:
+            if exclude_port is not None and port.index == exclude_port:
+                continue
+            if not port.is_up:
+                continue
+            header = make_management_header(
+                0, 0, pi=PI_MULTICAST, tc=tc,
+            )
+            packet = Packet(header=header, payload=payload,
+                            src=self.device.name, created_at=self.env.now)
+            self.device.inject(packet, port.index)
+            sent += 1
+        self.stats.incr("multicast_sent", sent)
+        return sent

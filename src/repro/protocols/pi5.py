@@ -1,0 +1,69 @@
+"""PI-5: the event-reporting protocol.
+
+When a fabric device detects a change in the state of one of its local
+ports (a neighbour was hot-added or hot-removed, a link failed), it
+notifies the fabric manager with a PI-5 packet (paper, section 2).  The
+FM reacts by starting the change assimilation process — a rediscovery.
+
+Wire format of the PI-5 payload::
+
+    dword 0 : [event_code:8][port:8][state:8][rsvd:8]
+    dword 1 : reporter DSN high
+    dword 2 : reporter DSN low
+    dword 3 : sequence number (per reporter)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: Event codes.
+EVENT_PORT_STATE = 0x01
+
+#: Port state codes carried in the event.
+STATE_DOWN = 0x00
+STATE_UP = 0x01
+
+_FMT = struct.Struct(">BBBBIII")
+
+
+class Pi5Error(ValueError):
+    """Raised when a PI-5 payload cannot be decoded."""
+
+
+@dataclass(frozen=True)
+class PortEvent:
+    """A port-state-change notification."""
+
+    reporter_dsn: int
+    port: int
+    up: bool
+    seq: int
+    event_code: int = EVENT_PORT_STATE
+
+    def pack(self) -> bytes:
+        return _FMT.pack(
+            self.event_code,
+            self.port & 0xFF,
+            STATE_UP if self.up else STATE_DOWN,
+            0,
+            (self.reporter_dsn >> 32) & 0xFFFFFFFF,
+            self.reporter_dsn & 0xFFFFFFFF,
+            self.seq & 0xFFFFFFFF,
+        )
+
+
+def decode(payload: bytes) -> PortEvent:
+    """Decode a PI-5 payload."""
+    if len(payload) < _FMT.size:
+        raise Pi5Error(f"PI-5 payload of {len(payload)} bytes is too short")
+    code, port, state, _rsvd, dsn_hi, dsn_lo, seq = _FMT.unpack_from(payload)
+    if code != EVENT_PORT_STATE:
+        raise Pi5Error(f"unknown PI-5 event code {code:#04x}")
+    return PortEvent(
+        reporter_dsn=(dsn_hi << 32) | dsn_lo,
+        port=port,
+        up=state == STATE_UP,
+        seq=seq,
+    )

@@ -1,0 +1,33 @@
+"""Source-route construction, path computation, multicast tables."""
+
+from .tables import MulticastForwardingTable, MulticastTableError
+
+from .turnpool import (
+    Hop,
+    TurnPool,
+    TurnPoolError,
+    backward_egress,
+    build_turn_pool,
+    encode_turn,
+    forward_egress,
+    read_backward_turn,
+    read_forward_turn,
+    turn_width,
+    walk_forward,
+)
+
+__all__ = [
+    "Hop",
+    "MulticastForwardingTable",
+    "MulticastTableError",
+    "TurnPool",
+    "TurnPoolError",
+    "backward_egress",
+    "build_turn_pool",
+    "encode_turn",
+    "forward_egress",
+    "read_backward_turn",
+    "read_forward_turn",
+    "turn_width",
+    "walk_forward",
+]

@@ -1,0 +1,135 @@
+"""Path computation: shortest source routes over a topology.
+
+"The information gathered by [discovery] is used to build a set of
+paths between fabric endpoints" (paper, abstract).  This module builds
+turn-pool source routes both from the FM's discovered database (the
+production path) and from a live fabric's ground truth (used by tests
+and by the background-traffic workload).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .turnpool import Hop, TurnPool, build_turn_pool
+
+
+class PathError(RuntimeError):
+    """Raised when no route exists or wiring info is missing."""
+
+
+# -- routes over the FM database ------------------------------------------
+
+def _db_link_ports(db, dsn_a: int, dsn_b: int) -> Tuple[int, int]:
+    """Ports wiring two adjacent devices in a topology database.
+
+    Returns ``(port_on_a, port_on_b)``; picks the lowest-numbered port
+    when redundant links exist (deterministic).
+    """
+    record_a = db.device(dsn_a)
+    for index in sorted(record_a.ports):
+        port = record_a.ports[index]
+        if port.neighbor_dsn == dsn_b and port.up:
+            far = port.neighbor_port
+            if far is None:
+                record_b = db.device(dsn_b)
+                for j in sorted(record_b.ports):
+                    if record_b.ports[j].neighbor_dsn == dsn_a:
+                        far = j
+                        break
+            if far is None:
+                raise PathError(
+                    f"far-side port of {dsn_a:#x}->{dsn_b:#x} unknown"
+                )
+            return index, far
+    raise PathError(f"no up link between {dsn_a:#x} and {dsn_b:#x}")
+
+
+def db_route(db, src_dsn: int, dst_dsn: int) -> Tuple[TurnPool, int]:
+    """Shortest route ``src -> dst`` over a discovered database.
+
+    Returns ``(turn_pool, out_port_at_src)``.
+    """
+    if src_dsn == dst_dsn:
+        return build_turn_pool([]), 0
+    graph = db.graph()
+    try:
+        node_path = nx.shortest_path(graph, src_dsn, dst_dsn)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        raise PathError(
+            f"no path from {src_dsn:#x} to {dst_dsn:#x}"
+        ) from None
+    return _path_to_route(db, node_path)
+
+
+def _path_to_route(db, node_path: List[int]) -> Tuple[TurnPool, int]:
+    out_port, _ = _db_link_ports(db, node_path[0], node_path[1])
+    hops: List[Hop] = []
+    in_port = None
+    for k in range(1, len(node_path) - 1):
+        _, in_port = _db_link_ports(db, node_path[k - 1], node_path[k])
+        egress, _ = _db_link_ports(db, node_path[k], node_path[k + 1])
+        record = db.device(node_path[k])
+        if not record.is_switch:
+            raise PathError(
+                f"path traverses endpoint {node_path[k]:#x}"
+            )
+        hops.append(Hop(record.nports, in_port, egress))
+    return build_turn_pool(hops), out_port
+
+
+def db_endpoint_routes(db, src_dsn: int) -> Dict[int, Tuple[TurnPool, int]]:
+    """Routes from ``src_dsn`` to every other endpoint in the database."""
+    routes: Dict[int, Tuple[TurnPool, int]] = {}
+    for record in db.endpoints():
+        if record.dsn == src_dsn:
+            continue
+        routes[record.dsn] = db_route(db, src_dsn, record.dsn)
+    return routes
+
+
+# -- routes over fabric ground truth ----------------------------------------
+
+def fabric_route(fabric, src: str, dst: str) -> Tuple[TurnPool, int]:
+    """Shortest route between two devices of a live fabric.
+
+    Uses the ground-truth graph (tests, traffic generation, failover
+    bootstrap).  Returns ``(turn_pool, out_port_at_src)``.
+    """
+    if src == dst:
+        return build_turn_pool([]), 0
+    graph = fabric.graph(active_only=True)
+    try:
+        node_path = nx.shortest_path(graph, src, dst)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        raise PathError(f"no path from {src!r} to {dst!r}") from None
+
+    def link_ports(a: str, b: str) -> Tuple[int, int]:
+        ports = graph.edges[a, b]["ports"]
+        return ports[a], ports[b]
+
+    out_port, _ = link_ports(node_path[0], node_path[1])
+    hops: List[Hop] = []
+    for k in range(1, len(node_path) - 1):
+        _, in_port = link_ports(node_path[k - 1], node_path[k])
+        egress, _ = link_ports(node_path[k], node_path[k + 1])
+        device = fabric.device(node_path[k])
+        if device.kind != "switch":
+            raise PathError(f"path traverses endpoint {node_path[k]!r}")
+        hops.append(Hop(device.nports, in_port, egress))
+    return build_turn_pool(hops), out_port
+
+
+def fabric_endpoint_routes(fabric, src: str) -> Dict[str, Tuple[TurnPool, int]]:
+    """Ground-truth routes from endpoint ``src`` to all other endpoints."""
+    routes: Dict[str, Tuple[TurnPool, int]] = {}
+    for endpoint in fabric.endpoints():
+        if endpoint.name == src or not endpoint.active:
+            continue
+        try:
+            routes[endpoint.name] = fabric_route(fabric, src, endpoint.name)
+        except PathError:
+            continue  # unreachable after a change
+    return routes

@@ -1,0 +1,97 @@
+"""Multicast forwarding tables.
+
+"Multicast packets require looking up into a specific forwarding
+table" (paper, section 2).  For multicast packets (PI-0) the route
+header's turn-pool field carries the multicast group id instead of a
+source route; each switch looks the group up in its forwarding table
+and replicates the packet to every listed port except the ingress.
+
+Tables are programmed by the fabric manager through the multicast
+capability (:mod:`repro.capability.multicast`) after it has computed a
+distribution tree for the group (:mod:`repro.manager.multicast`).
+Groups absent from a switch's table fall back to the management
+entity's software flood path — which is exactly what the election
+protocol uses before any FM exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+#: Multicast group ids are 16 bits in this model.
+MAX_GROUP = 0xFFFF
+
+
+class MulticastTableError(ValueError):
+    """Raised on malformed group/port arguments."""
+
+
+class MulticastForwardingTable:
+    """Per-switch mapping of multicast group -> egress port set."""
+
+    def __init__(self, nports: int):
+        if nports < 1:
+            raise MulticastTableError("table needs at least one port")
+        self.nports = nports
+        self._groups: Dict[int, Set[int]] = {}
+
+    def _check_group(self, group: int) -> None:
+        if not 0 <= group <= MAX_GROUP:
+            raise MulticastTableError(f"group {group} outside 16 bits")
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.nports:
+            raise MulticastTableError(
+                f"port {port} outside switch with {self.nports} ports"
+            )
+
+    # -- programming ------------------------------------------------------
+    def add_port(self, group: int, port: int) -> None:
+        """Include ``port`` in the group's replication set."""
+        self._check_group(group)
+        self._check_port(port)
+        self._groups.setdefault(group, set()).add(port)
+
+    def remove_port(self, group: int, port: int) -> None:
+        """Remove ``port`` from the group (idempotent)."""
+        self._check_group(group)
+        self._check_port(port)
+        members = self._groups.get(group)
+        if members is not None:
+            members.discard(port)
+            if not members:
+                del self._groups[group]
+
+    def clear_group(self, group: int) -> None:
+        """Forget the group entirely."""
+        self._check_group(group)
+        self._groups.pop(group, None)
+
+    def set_ports(self, group: int, ports: Iterable[int]) -> None:
+        """Replace the group's port set."""
+        self._check_group(group)
+        ports = set(ports)
+        for port in ports:
+            self._check_port(port)
+        if ports:
+            self._groups[group] = ports
+        else:
+            self._groups.pop(group, None)
+
+    # -- lookup --------------------------------------------------------------
+    def __contains__(self, group: int) -> bool:
+        return group in self._groups
+
+    def ports_for(self, group: int) -> FrozenSet[int]:
+        """Replication set for ``group`` (empty if unprogrammed)."""
+        return frozenset(self._groups.get(group, ()))
+
+    def egress_ports(self, group: int, ingress: int) -> List[int]:
+        """Ports a packet entering at ``ingress`` is replicated to."""
+        return sorted(self.ports_for(group) - {ingress})
+
+    def groups(self) -> List[int]:
+        return sorted(self._groups)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<McastTable {len(self._groups)} groups>"

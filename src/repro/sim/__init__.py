@@ -1,0 +1,57 @@
+"""A self-contained discrete-event simulation kernel.
+
+This subpackage replaces the OPNET Modeler kernel used by the paper
+(and the ``simpy`` library, unavailable offline) with a minimal,
+well-tested equivalent: an event heap, generator-based processes, and
+queueing resources.
+
+Quick example::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def clock(env, period):
+        while True:
+            yield env.timeout(period)
+            print(env.now)
+
+    env.process(clock(env, 1.0))
+    env.run(until=3.5)
+"""
+
+from .core import Environment, Infinity
+from .errors import EmptySchedule, Interrupt, SimulationError
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .monitor import Counter, Monitor, Tally
+from .process import Process
+from .resources import (
+    FilterStore,
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Counter",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Infinity",
+    "Interrupt",
+    "Monitor",
+    "PriorityItem",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Tally",
+    "Timeout",
+]

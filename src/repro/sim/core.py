@@ -1,0 +1,144 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+
+from .errors import EmptySchedule, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
+from .process import Process
+
+Infinity = float("inf")
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Maintains the simulation clock and a priority heap of triggered
+    events.  Entities interact with the environment through
+    :meth:`process`, :meth:`timeout`, :meth:`event`, and :meth:`run`.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now: float = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<Environment t={self._now:.9f} pending={len(self._queue)}>"
+
+    # -- clock / state ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event creation ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers once all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers once any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Place a triggered event onto the heap ``delay`` from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next event on the heap.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure crashes the run.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the heap is exhausted;
+            a number — run until that simulation time;
+            an :class:`Event` — run until that event is processed and
+            return its value.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until ({at}) must be in the future")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, delay=at - self._now, priority=URGENT)
+
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                return until._value if until._value is not PENDING else None
+            until.callbacks.append(_stop_simulate)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.value
+        except EmptySchedule:
+            if isinstance(until, Event) and until._value is PENDING:
+                raise SimulationError(
+                    "no scheduled events left but 'until' event was not triggered"
+                ) from None
+        return None
+
+
+def _stop_simulate(event: Event) -> None:
+    """Callback used by :meth:`Environment.run` to halt the loop."""
+    raise StopSimulation(event._value)

@@ -1,0 +1,301 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is organized around :class:`Event` objects.  An event moves
+through three states:
+
+* *pending* — created but not yet scheduled;
+* *triggered* — given a value (or an exception) and placed on the
+  environment's event heap;
+* *processed* — popped from the heap; all callbacks have run.
+
+Processes (see :mod:`repro.sim.process`) communicate exclusively by
+yielding events and by succeeding/failing them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from .errors import SimulationError
+
+#: Scheduling priorities.  Lower sorts earlier at equal simulation time.
+URGENT = 0
+NORMAL = 1
+
+#: Sentinel distinguishing "not yet triggered" from "triggered with None".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that other entities can wait for.
+
+    Parameters
+    ----------
+    env:
+        The :class:`~repro.sim.core.Environment` the event belongs to.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env):
+        self.env = env
+        #: Callables invoked with the event once it is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if self._value is PENDING
+            else ("processed" if self.callbacks is None else "triggered")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the heap."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._value is PENDING:
+            raise SimulationError("value of event is not yet available")
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("value of event is not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """True if a failure was handled and must not crash the run."""
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will see the exception re-raised at their
+        ``yield`` statement.  If nobody handles it, the simulation run
+        crashes (unless the event is *defused*).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (processed) event.
+
+        Useful as a callback to chain events together.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defused = True
+            self.fail(event._value)
+
+    # -- composition ----------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Immediately-scheduled event used to start a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class ConditionValue:
+    """Ordered mapping of events to values produced by :class:`Condition`.
+
+    Behaves like a read-only dict keyed by the original event objects,
+    preserving their creation order.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event):
+        if key not in self.events:
+            raise KeyError(str(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        return self.todict() == other
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.todict()}>"
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (e._value for e in self.events)
+
+    def items(self):
+        return ((e, e._value) for e in self.events)
+
+    def todict(self) -> dict:
+        return {e: e._value for e in self.events}
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events (``&``/``|``).
+
+    The condition's value is a :class:`ConditionValue` containing the
+    values of all events that had triggered by the time the condition
+    itself triggered.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(self, env, evaluate: Callable[[List[Event], int], bool],
+                 events: Iterable[Event]):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        # Evaluate immediately in case the events already triggered.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self._events and self._value is PENDING:
+            self.succeed(ConditionValue())
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None:
+                value.events.append(event)
+
+    def _build_value(self, event: Event) -> None:
+        self._remove_check_callbacks()
+        if event._ok:
+            value = ConditionValue()
+            self._populate_value(value)
+            self.succeed(value)
+
+    def _remove_check_callbacks(self) -> None:
+        for event in self._events:
+            if event.callbacks is not None and self._check in event.callbacks:
+                event.callbacks.remove(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self._remove_check_callbacks()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            # Delay value construction until all currently-scheduled
+            # sibling events at this timestep have been processed.
+            urgent = Event(self.env)
+            urgent.callbacks.append(self._build_value)
+            urgent._ok = True
+            urgent._value = None
+            self.env.schedule(urgent, priority=URGENT)
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or len(events) == 0
+
+
+class AllOf(Condition):
+    """Condition that triggers when *all* the given events trigger."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers when *any* of the given events triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env, Condition.any_events, events)

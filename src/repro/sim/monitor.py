@@ -1,0 +1,122 @@
+"""Lightweight instrumentation helpers for simulations.
+
+The experiment harness records scalar time series (queue depths, busy
+periods, event counts) with :class:`Monitor`, and aggregates them with
+:class:`Counter`/:class:`Tally` without storing full traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Tuple
+
+
+class Monitor:
+    """Records ``(time, value)`` samples of a scalar quantity."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"monitor {self.name!r}: time {time} precedes last sample"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sampled values."""
+        if not self.values:
+            raise ValueError("empty monitor")
+        return sum(self.values) / len(self.values)
+
+    def time_average(self, until: float) -> float:
+        """Time-weighted average assuming piecewise-constant values."""
+        if not self.times:
+            raise ValueError("empty monitor")
+        if until < self.times[-1]:
+            raise ValueError("'until' precedes last sample")
+        total = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else until
+            total += v * (t_next - t)
+        span = until - self.times[0]
+        return total / span if span > 0 else self.values[-1]
+
+
+class Counter:
+    """A named bundle of monotonically increasing integer counters."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def asdict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Counter({self._counts!r})"
+
+
+class Tally:
+    """Streaming mean/variance/min/max of observations (Welford)."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
+    def __init__(self):
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        if self.n == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        if self.n == 0:
+            return "Tally(empty)"
+        return f"Tally(n={self.n}, mean={self._mean:.6g}, sd={self.stdev:.6g})"

@@ -1,0 +1,266 @@
+"""Shared-resource primitives built on top of the event kernel.
+
+Provides the queueing abstractions used by the fabric model:
+
+* :class:`Store` — unbounded/bounded FIFO of arbitrary items;
+* :class:`PriorityStore` — items dequeued lowest-priority-value first;
+* :class:`FilterStore` — get with a predicate;
+* :class:`Resource` — counted resource with FIFO request queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, List, Optional
+
+from .core import Environment, Infinity
+from .events import Event
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; triggers when the item is stored."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger_put_get()
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; triggers with the item."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store",
+                 filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._trigger_put_get()
+
+    def cancel(self) -> None:
+        """Withdraw this get request if it has not yet been fulfilled."""
+        if not self.triggered:
+            # Lazily removed by the store when it scans its queue.
+            self.filter = _never
+
+
+def _never(item: Any) -> bool:
+    return False
+
+
+class Store:
+    """A FIFO store of items with blocking put/get semantics.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum number of stored items; ``inf`` (default) for unbounded.
+    """
+
+    def __init__(self, env: Environment, capacity: float = Infinity):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Request to add ``item``; blocks while the store is full."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request to remove and return the oldest item."""
+        return StoreGet(self)
+
+    # -- internals ------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self._store_item(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self._take_item())
+            return True
+        return False
+
+    def _store_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _take_item(self) -> Any:
+        return self.items.pop(0)
+
+    def _trigger_put_get(self) -> None:
+        """Match queued puts and gets until no more progress is possible."""
+        progress = True
+        while progress:
+            progress = False
+            # Drop cancelled/processed gets.
+            while self._get_queue and self._get_queue[0].triggered:
+                self._get_queue.pop(0)
+            if self._put_queue and not self._put_queue[0].triggered:
+                if self._do_put(self._put_queue[0]):
+                    self._put_queue.pop(0)
+                    progress = True
+            elif self._put_queue:
+                self._put_queue.pop(0)
+                progress = True
+            if self._get_queue and not self._get_queue[0].triggered:
+                if self._do_get(self._get_queue[0]):
+                    self._get_queue.pop(0)
+                    progress = True
+            elif self._get_queue:
+                self._get_queue.pop(0)
+                progress = True
+
+
+class PriorityItem:
+    """Wrapper pairing a sortable priority with an arbitrary item."""
+
+    __slots__ = ("priority", "item", "_seq")
+    _counter = count()
+
+    def __init__(self, priority, item):
+        self.priority = priority
+        self.item = item
+        self._seq = next(PriorityItem._counter)
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        if self.priority == other.priority:
+            return self._seq < other._seq
+        return self.priority < other.priority
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """A store whose :meth:`get` returns the lowest-priority item first.
+
+    Items must be :class:`PriorityItem` instances (or anything mutually
+    comparable).  Ties break FIFO.
+    """
+
+    def _store_item(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _take_item(self) -> Any:
+        return heapq.heappop(self.items)
+
+
+class FilterStore(Store):
+    """A store whose :meth:`get` accepts a predicate over items."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> StoreGet:
+        return StoreGet(self, filter)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        for i, item in enumerate(self.items):
+            if event.filter(item):
+                del self.items[i]
+                event.succeed(item)
+                return True
+        return False
+
+    def _trigger_put_get(self) -> None:
+        # Unlike FIFO stores, a blocked head-of-line get must not block
+        # later gets whose filters may match.
+        progress = True
+        while progress:
+            progress = False
+            if self._put_queue and not self._put_queue[0].triggered:
+                if self._do_put(self._put_queue[0]):
+                    self._put_queue.pop(0)
+                    progress = True
+            elif self._put_queue:
+                self._put_queue.pop(0)
+                progress = True
+            for event in list(self._get_queue):
+                if event.triggered:
+                    self._get_queue.remove(event)
+                    progress = True
+                elif self._do_get(event):
+                    self._get_queue.remove(event)
+                    progress = True
+
+
+class ResourceRequest(Event):
+    """Event returned by :meth:`Resource.request`."""
+
+    __slots__ = ("resource", "_released")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+        resource._queue.append(self)
+        resource._trigger()
+
+    def release(self) -> None:
+        """Release the slot held (or still queued for) by this request."""
+        self.resource.release(self)
+
+    # Support `with resource.request() as req: yield req`.
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    ``capacity`` concurrent holders are allowed; additional requests
+    block until a holder releases.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[ResourceRequest] = []
+        self._queue: List[ResourceRequest] = []
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        """Queue for a slot; the returned event triggers when granted."""
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return the slot held by ``request`` (idempotent)."""
+        if request._released:
+            return
+        request._released = True
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            req = self._queue.pop(0)
+            if req._released:
+                continue
+            self.users.append(req)
+            req.succeed()

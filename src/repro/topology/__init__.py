@@ -1,0 +1,20 @@
+"""Topology generators: the paper's Table 1 families plus extras."""
+
+from .fattree import make_fattree
+from .irregular import make_irregular
+from .mesh import make_mesh
+from .spec import TopologySpec
+from .table1 import TABLE1_NAMES, table1_rows, table1_suite, table1_topology
+from .torus import make_torus
+
+__all__ = [
+    "TABLE1_NAMES",
+    "TopologySpec",
+    "make_fattree",
+    "make_irregular",
+    "make_mesh",
+    "make_torus",
+    "table1_rows",
+    "table1_suite",
+    "table1_topology",
+]

@@ -1,0 +1,80 @@
+"""Random irregular topologies.
+
+Not part of the paper's Table 1, but used by the test suite to check
+that the discovery algorithms make no regularity assumptions: a random
+connected switch graph with bounded degree, one endpoint per switch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .spec import TopologySpec
+
+#: Port reserved for the local endpoint on every switch.
+ENDPOINT_PORT = 0
+
+
+def make_irregular(num_switches: int, extra_links: int = 0,
+                   switch_ports: int = 16,
+                   seed: Optional[int] = None) -> TopologySpec:
+    """Build a random connected topology.
+
+    A random spanning tree guarantees connectivity; ``extra_links``
+    additional random links add cycles and redundant paths (the
+    situations where duplicate-detection via DSN matters).
+    """
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    if switch_ports < 4:
+        raise ValueError("irregular switches need at least 4 ports")
+    rng = random.Random(seed)
+    spec = TopologySpec(
+        name=f"irregular-{num_switches}+{extra_links} (seed={seed})",
+        family="irregular",
+    )
+    free_ports = {}
+    for i in range(num_switches):
+        name = f"sw{i}"
+        spec.switches.append((name, switch_ports))
+        spec.endpoints.append(f"ep{i}")
+        spec.links.append((f"ep{i}", 0, name, ENDPOINT_PORT))
+        free_ports[name] = list(range(1, switch_ports))
+
+    def take_port(switch: str) -> Optional[int]:
+        if not free_ports[switch]:
+            return None
+        return free_ports[switch].pop(0)
+
+    # Random spanning tree: connect each new switch to a random earlier
+    # one (random recursive tree).
+    for i in range(1, num_switches):
+        a = f"sw{i}"
+        b = f"sw{rng.randrange(i)}"
+        pa, pb = take_port(a), take_port(b)
+        if pa is None or pb is None:
+            raise ValueError("ran out of switch ports building the tree")
+        spec.links.append((a, pa, b, pb))
+
+    # Extra random links (skipped when ports run out).
+    added = 0
+    attempts = 0
+    wired = {tuple(sorted((a, b))) for a, _, b, _ in spec.links}
+    while added < extra_links and attempts < 50 * (extra_links + 1):
+        attempts += 1
+        i, j = rng.randrange(num_switches), rng.randrange(num_switches)
+        if i == j:
+            continue
+        a, b = f"sw{i}", f"sw{j}"
+        if tuple(sorted((a, b))) in wired:
+            continue
+        if not free_ports[a] or not free_ports[b]:
+            continue
+        spec.links.append((a, take_port(a), b, take_port(b)))
+        wired.add(tuple(sorted((a, b))))
+        added += 1
+
+    spec.fm_host = "ep0"
+    spec.validate()
+    return spec

@@ -1,0 +1,77 @@
+"""The paper's Table 1: the evaluated topology suite.
+
+Meshes and tori from 3x3 up (10x10 torus largest), plus four
+fixed-arity fat-trees.  Every mesh/torus switch carries one endpoint,
+so switch and endpoint counts are equal for those families.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .fattree import make_fattree
+from .mesh import make_mesh
+from .spec import TopologySpec
+from .torus import make_torus
+
+#: Ordered names of the Table 1 topologies.
+TABLE1_NAMES: List[str] = [
+    "3x3 mesh",
+    "3x3 torus",
+    "4x4 mesh",
+    "4x4 torus",
+    "6x6 mesh",
+    "6x6 torus",
+    "8x8 mesh",
+    "8x8 torus",
+    "10x10 torus",
+    "4-port 2-tree",
+    "4-port 3-tree",
+    "4-port 4-tree",
+    "8-port 2-tree",
+]
+
+_BUILDERS: Dict[str, Callable[[], TopologySpec]] = {
+    "3x3 mesh": lambda: make_mesh(3, 3),
+    "3x3 torus": lambda: make_torus(3, 3),
+    "4x4 mesh": lambda: make_mesh(4, 4),
+    "4x4 torus": lambda: make_torus(4, 4),
+    "6x6 mesh": lambda: make_mesh(6, 6),
+    "6x6 torus": lambda: make_torus(6, 6),
+    "8x8 mesh": lambda: make_mesh(8, 8),
+    "8x8 torus": lambda: make_torus(8, 8),
+    "10x10 torus": lambda: make_torus(10, 10),
+    "4-port 2-tree": lambda: make_fattree(4, 2),
+    "4-port 3-tree": lambda: make_fattree(4, 3),
+    "4-port 4-tree": lambda: make_fattree(4, 4),
+    "8-port 2-tree": lambda: make_fattree(8, 2),
+}
+
+
+def table1_topology(name: str) -> TopologySpec:
+    """Build one Table 1 topology by name."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown Table 1 topology {name!r}; "
+            f"choose from {TABLE1_NAMES}"
+        ) from None
+
+
+def table1_suite() -> List[TopologySpec]:
+    """Build every Table 1 topology, in table order."""
+    return [table1_topology(name) for name in TABLE1_NAMES]
+
+
+def table1_rows() -> List[dict]:
+    """The Table 1 contents: name, switches, endpoints, total devices."""
+    return [
+        {
+            "topology": spec.name,
+            "switches": spec.num_switches,
+            "endpoints": spec.num_endpoints,
+            "total_devices": spec.total_devices,
+        }
+        for spec in table1_suite()
+    ]

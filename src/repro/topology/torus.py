@@ -1,0 +1,56 @@
+"""2-D torus topologies: meshes with wrap-around rings in both axes.
+
+Port assignment matches :mod:`repro.topology.mesh` (north/east/south/
+west plus the endpoint port), with the wrap links closing each row and
+column into rings.
+"""
+
+from __future__ import annotations
+
+from .mesh import (
+    PORT_EAST,
+    PORT_ENDPOINT,
+    PORT_NORTH,
+    PORT_SOUTH,
+    PORT_WEST,
+    endpoint_name,
+    switch_name,
+)
+from .spec import TopologySpec
+
+
+def make_torus(rows: int, cols: int, switch_ports: int = 16) -> TopologySpec:
+    """Build a ``rows x cols`` torus specification.
+
+    A dimension of size 2 would create a double link between the same
+    pair of switches (the mesh link plus the wrap link); since each is
+    wired to distinct ports that is legal, but sizes of 1 are rejected
+    (self-links are not).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("torus dimensions must be at least 2")
+    if switch_ports < 5:
+        raise ValueError("torus switches need at least 5 ports")
+    spec = TopologySpec(name=f"{rows}x{cols} torus", family="torus")
+    for r in range(rows):
+        for c in range(cols):
+            spec.switches.append((switch_name(r, c), switch_ports))
+            spec.endpoints.append(endpoint_name(r, c))
+            spec.links.append(
+                (endpoint_name(r, c), 0, switch_name(r, c), PORT_ENDPOINT)
+            )
+    for r in range(rows):
+        for c in range(cols):
+            # East links close each row into a ring.
+            spec.links.append(
+                (switch_name(r, c), PORT_EAST,
+                 switch_name(r, (c + 1) % cols), PORT_WEST)
+            )
+            # South links close each column into a ring.
+            spec.links.append(
+                (switch_name(r, c), PORT_SOUTH,
+                 switch_name((r + 1) % rows, c), PORT_NORTH)
+            )
+    spec.fm_host = endpoint_name(0, 0)
+    spec.validate()
+    return spec

@@ -1,0 +1,6 @@
+"""Synthetic workloads: background traffic and fault injection."""
+
+from .faults import FaultEvent, FaultInjector
+from .traffic import TrafficGenerator
+
+__all__ = ["FaultEvent", "FaultInjector", "TrafficGenerator"]

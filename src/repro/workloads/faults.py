@@ -1,0 +1,157 @@
+"""Fault injection: randomized topology churn over time.
+
+The paper studies one change per run; a production fabric sees many.
+This workload drives a fabric through a seeded sequence of hot switch
+removals, restorations, and link flaps, so soak tests and the
+continuous-operation example can check that the management layer keeps
+converging to the true topology change after change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from ..fabric.fabric import Fabric
+from ..sim.events import Event
+
+#: Fault kinds the injector can produce.
+KINDS = ("remove_switch", "restore_switch", "fail_link", "restore_link")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for post-run inspection."""
+
+    time: float
+    kind: str
+    target: str
+
+
+class FaultInjector:
+    """Injects random topology changes at exponential intervals.
+
+    Parameters
+    ----------
+    fabric:
+        The live fabric to disturb.
+    mean_interval:
+        Mean seconds between faults (exponentially distributed); keep
+        it comfortably above the fabric's assimilation time if each
+        change should be absorbed before the next arrives.
+    protect:
+        Device names never to remove (e.g. the FM host's attachment
+        switch).  Endpoints are never targeted.
+    seed:
+        Randomness seed (the full fault schedule is reproducible).
+    """
+
+    def __init__(self, fabric: Fabric, mean_interval: float = 30e-3,
+                 protect: Optional[Sequence[str]] = None,
+                 seed: int = 0):
+        if mean_interval <= 0:
+            raise ValueError("mean interval must be positive")
+        self.fabric = fabric
+        self.env = fabric.env
+        self.mean_interval = mean_interval
+        self.protect: Set[str] = set(protect or ())
+        self.rng = random.Random(seed)
+        self.log: List[FaultEvent] = []
+        self._removed: List[str] = []
+        self._failed_links: List[tuple] = []
+        self._proc = None
+        self._stopping = False
+
+    # -- schedule -----------------------------------------------------------
+    def run(self, faults: int) -> Event:
+        """Inject ``faults`` changes; the event triggers when done."""
+        if self._proc is not None:
+            raise RuntimeError("fault injector already running")
+        done = self.env.event()
+        self._proc = self.env.process(self._loop(faults, done),
+                                      name="fault-injector")
+        return done
+
+    def _loop(self, faults: int, done: Event):
+        for _ in range(faults):
+            yield self.env.timeout(
+                self.rng.expovariate(1.0 / self.mean_interval)
+            )
+            if self._stopping:
+                break
+            self._inject_one()
+        done.succeed(list(self.log))
+
+    def stop(self) -> None:
+        self._stopping = True
+
+    # -- fault selection --------------------------------------------------------
+    def _eligible_switches(self) -> List[str]:
+        return sorted(
+            sw.name for sw in self.fabric.switches()
+            if sw.active and sw.name not in self.protect
+        )
+
+    def _healthy_links(self) -> List[tuple]:
+        result = []
+        for link in self.fabric.links:
+            if not link.up:
+                continue
+            a = link.a_port.device
+            b = link.b_port.device
+            # Endpoint attachment links stay up (killing one would
+            # permanently silence an endpoint; switch faults cover
+            # connectivity loss already).
+            if a.kind != "switch" or b.kind != "switch":
+                continue
+            if a.name in self.protect or b.name in self.protect:
+                continue
+            result.append((a.name, b.name))
+        return sorted(result)
+
+    def _inject_one(self) -> None:
+        actions = []
+        if self._eligible_switches():
+            actions.append("remove_switch")
+        if self._removed:
+            actions.append("restore_switch")
+        if self._healthy_links():
+            actions.append("fail_link")
+        if self._failed_links:
+            actions.append("restore_link")
+        if not actions:
+            return
+        kind = self.rng.choice(actions)
+        if kind == "remove_switch":
+            target = self.rng.choice(self._eligible_switches())
+            self.fabric.remove_device(target)
+            self._removed.append(target)
+        elif kind == "restore_switch":
+            target = self._removed.pop(
+                self.rng.randrange(len(self._removed))
+            )
+            self.fabric.restore_device(target)
+        elif kind == "fail_link":
+            a, b = self.rng.choice(self._healthy_links())
+            self.fabric.fail_link(a, b)
+            self._failed_links.append((a, b))
+            target = f"{a}<->{b}"
+        else:
+            a, b = self._failed_links.pop(
+                self.rng.randrange(len(self._failed_links))
+            )
+            self.fabric.restore_link(a, b)
+            target = f"{a}<->{b}"
+        if kind in ("remove_switch", "restore_switch"):
+            pass
+        self.log.append(FaultEvent(self.env.now, kind,
+                                   target if isinstance(target, str)
+                                   else str(target)))
+
+    # -- introspection ----------------------------------------------------------
+    def summary(self) -> dict:
+        counts = {}
+        for event in self.log:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

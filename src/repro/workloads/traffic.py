@@ -1,0 +1,117 @@
+"""Background application traffic.
+
+The paper's results "have been obtained without considering application
+traffic into the network.  This traffic scarcely influences on the
+discovery time.  The reason is that, in ASI, the management and
+notification packets have the higher priority when they are transmitted
+through the fabric." (section 4.1)
+
+This workload lets us *test* that claim instead of assuming it: every
+endpoint injects Poisson traffic to uniformly random endpoints at a
+configurable fraction of the link rate, on the application traffic
+class (which maps to the low-priority VC).  The discovery benches then
+compare discovery time with and without load.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..fabric.fabric import Fabric
+from ..fabric.header import RouteHeader
+from ..fabric.packet import PI_APPLICATION, Packet
+from ..fabric.params import APPLICATION_TC
+from ..routing.paths import fabric_endpoint_routes
+from ..sim.monitor import Counter
+
+
+class TrafficGenerator:
+    """Poisson endpoint-to-endpoint application traffic."""
+
+    def __init__(self, fabric: Fabric, load: float = 0.5,
+                 packet_bytes: int = 256, seed: int = 0,
+                 tc: int = APPLICATION_TC):
+        if not 0 < load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+        if packet_bytes < 1:
+            raise ValueError("packets need at least one byte")
+        self.fabric = fabric
+        self.env = fabric.env
+        self.load = load
+        self.packet_bytes = packet_bytes
+        self.tc = tc
+        self.rng = random.Random(seed)
+        self.stats = Counter()
+        self._running = False
+        self._procs = []
+        #: Per-source route tables computed from ground truth (the
+        #: paths a real deployment would have received from the FM).
+        self._routes: Dict[str, Dict[str, Tuple]] = {}
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Mean time between packets per source at the requested load."""
+        wire = self.packet_bytes + self.fabric.params.framing_overhead + \
+            16 + self.fabric.params.pcrc_bytes
+        packet_time = self.fabric.params.tx_time(wire)
+        return packet_time / self.load
+
+    def start(self) -> None:
+        """Begin injecting traffic from every active endpoint."""
+        if self._running:
+            raise RuntimeError("traffic generator already running")
+        self._running = True
+        for endpoint in self.fabric.endpoints():
+            if not endpoint.active:
+                continue
+            routes = fabric_endpoint_routes(self.fabric, endpoint.name)
+            if not routes:
+                continue
+            self._routes[endpoint.name] = routes
+            self._procs.append(
+                self.env.process(
+                    self._source(endpoint),
+                    name=f"traffic:{endpoint.name}",
+                )
+            )
+
+    def stop(self) -> None:
+        """Stop all sources (takes effect at their next arrival)."""
+        self._running = False
+
+    def _source(self, endpoint):
+        routes = self._routes[endpoint.name]
+        destinations = sorted(routes)
+        while self._running and endpoint.active:
+            yield self.env.timeout(
+                self.rng.expovariate(1.0 / self.mean_interarrival)
+            )
+            if not self._running or not endpoint.active:
+                return
+            dst = self.rng.choice(destinations)
+            pool, out_port = routes[dst]
+            header = RouteHeader(
+                pi=PI_APPLICATION, tc=self.tc,
+                turn_pointer=pool.bits, turn_pool=pool.pool,
+            )
+            payload = bytes(self.packet_bytes)
+            endpoint.inject(Packet(header=header, payload=payload),
+                            port_index=out_port)
+            self.stats.incr("packets_injected")
+            self.stats.incr("bytes_injected", self.packet_bytes)
+
+    def attach_sinks(self, entities) -> None:
+        """Count application-packet deliveries at each endpoint.
+
+        ``entities`` maps device names to their management entities;
+        the sink uses the entity's zero-cost application handler slot.
+        """
+
+        def sink(packet, port):
+            self.stats.incr("packets_delivered")
+
+        for endpoint in self.fabric.endpoints():
+            entity = entities.get(endpoint.name)
+            if entity is not None:
+                entity.app_handler = sink

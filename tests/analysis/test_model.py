@@ -1,0 +1,90 @@
+"""Tests: the analytical model against the simulator."""
+
+import pytest
+
+from repro.analysis.model import PipelineModel, expected_packets
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.manager import (
+    PARALLEL,
+    SERIAL_DEVICE,
+    SERIAL_PACKET,
+    ProcessingTimeModel,
+)
+from repro.topology import make_fattree, make_mesh, make_torus
+
+
+def simulate(spec, algorithm, timing=None):
+    setup = build_simulation(spec, algorithm=algorithm, timing=timing,
+                             auto_start=False)
+    setup.fm.start_discovery()
+    return run_until_ready(setup)
+
+
+class TestExpectedPackets:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: make_mesh(3, 3),
+            lambda: make_torus(3, 3),
+            lambda: make_mesh(4, 4),
+            lambda: make_fattree(4, 3),
+            lambda: make_fattree(8, 2),
+        ],
+        ids=["mesh3", "torus3", "mesh4", "tree43", "tree82"],
+    )
+    def test_matches_simulation_exactly(self, builder):
+        spec = builder()
+        stats = simulate(spec, PARALLEL)
+        assert stats.requests_sent == expected_packets(spec)
+
+
+class TestPipelineModel:
+    def test_periods_ordering(self):
+        model = PipelineModel(t_fm=15e-6, t_device=2.5e-6, t_prop=0.5e-6)
+        assert model.serial_period > model.parallel_period
+        assert model.serial_period == pytest.approx(
+            15e-6 + 2 * 0.5e-6 + 2.5e-6
+        )
+
+    def test_predicts_serial_packet_within_10_percent(self):
+        spec = make_mesh(3, 3)
+        timing = ProcessingTimeModel()
+        stats = simulate(spec, SERIAL_PACKET, timing)
+        model = PipelineModel.from_parameters(
+            timing, SERIAL_PACKET,
+            known_devices=spec.total_devices // 2,
+        )
+        predicted = model.predict(SERIAL_PACKET, stats.requests_sent)
+        assert predicted == pytest.approx(stats.discovery_time, rel=0.10)
+
+    def test_predicts_parallel_within_10_percent(self):
+        spec = make_mesh(3, 3)
+        timing = ProcessingTimeModel()
+        stats = simulate(spec, PARALLEL, timing)
+        model = PipelineModel.from_parameters(
+            timing, PARALLEL, known_devices=spec.total_devices // 2,
+        )
+        predicted = model.predict(PARALLEL, stats.requests_sent)
+        assert predicted == pytest.approx(stats.discovery_time, rel=0.10)
+
+    def test_serial_device_between_the_other_two(self):
+        timing = ProcessingTimeModel()
+        n = 200
+        base = PipelineModel.from_parameters(timing, SERIAL_PACKET)
+        fast = PipelineModel.from_parameters(timing, PARALLEL)
+        mid = PipelineModel.from_parameters(timing, SERIAL_DEVICE)
+        assert fast.predict(PARALLEL, n) \
+            < mid.predict(SERIAL_DEVICE, n) \
+            < base.predict(SERIAL_PACKET, n)
+
+    def test_device_speed_knee_positive_with_outstanding(self):
+        model = PipelineModel(t_fm=13e-6, t_device=2.5e-6, t_prop=0.5e-6)
+        knee = model.device_speed_knee(outstanding=16)
+        # Devices can be ~75x slower before Parallel notices.
+        assert knee > 20 * model.t_device
+        assert model.device_speed_knee(outstanding=1) == 0.0
+
+    def test_unknown_algorithm_rejected(self):
+        model = PipelineModel(t_fm=1e-6, t_device=1e-6, t_prop=1e-6)
+        with pytest.raises(ValueError):
+            model.predict("bogus", 10)

@@ -1,0 +1,27 @@
+"""Tests for the Fig. 4 profiling methodology."""
+
+import pytest
+
+from repro.analysis.profiling import (
+    profile_all_algorithms,
+    profile_fm_processing,
+)
+from repro.manager import PARALLEL
+from repro.topology import make_mesh
+
+
+class TestProfiling:
+    def test_profile_single_algorithm(self):
+        result = profile_fm_processing(make_mesh(2, 2), PARALLEL)
+        assert result.algorithm == PARALLEL
+        assert result.samples > 50  # one sample per completion
+        assert 0 < result.mean_seconds < 1e-3  # microsecond-scale handler
+        assert result.max_seconds >= result.mean_seconds
+        d = result.asdict()
+        assert d["mean_us"] > 0
+
+    def test_profile_all_algorithms_covers_everything(self):
+        results = profile_all_algorithms(make_mesh(2, 2))
+        assert set(results) == {"serial_packet", "serial_device", "parallel"}
+        samples = {r.samples for r in results.values()}
+        assert len(samples) == 1  # identical work across algorithms

@@ -1,0 +1,68 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import render_plot
+
+
+def simple_series():
+    return {
+        "rising": [(0, 0.0), (10, 10.0)],
+        "flat": [(0, 5.0), (10, 5.0)],
+    }
+
+
+class TestRenderPlot:
+    def test_contains_title_axes_and_legend(self):
+        text = render_plot("My plot", "x-things", "y-stuff",
+                           simple_series())
+        assert "My plot" in text
+        assert "(x-things)" in text
+        assert "y-stuff" in text
+        assert "* rising" in text
+        assert "+ flat" in text
+
+    def test_extreme_points_land_in_corners(self):
+        text = render_plot("t", "x", "y", {"s": [(0, 0.0), (10, 10.0)]},
+                           width=20, height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # Max y (first grid row) has the marker at the right edge.
+        assert rows[0].rstrip().endswith("*")
+        # Min y (last grid row) has the marker right after the axis.
+        assert rows[-1].split("|")[1][0] == "*"
+
+    def test_flat_series_renders_single_row(self):
+        text = render_plot("t", "x", "y", {"s": [(0, 3.0), (5, 3.0)]},
+                           width=20, height=8)
+        rows = [line for line in text.splitlines() if "|" in line]
+        marked = [row for row in rows if "*" in row]
+        assert len(marked) == 1
+
+    def test_log_scale(self):
+        text = render_plot("t", "x", "y",
+                           {"s": [(0, 1.0), (1, 10.0), (2, 100.0)]},
+                           width=21, height=9, logy=True)
+        assert "(log y)" in text
+        rows = [line for line in text.splitlines() if "|" in line]
+        # On a log scale the three decades are equally spaced: middle
+        # point lands on the middle row.
+        middle = rows[len(rows) // 2]
+        assert "*" in middle
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            render_plot("t", "x", "y", {"s": [(0, 0.0)]}, logy=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="nothing"):
+            render_plot("t", "x", "y", {"s": []})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError, match="small"):
+            render_plot("t", "x", "y", simple_series(), width=4)
+
+    def test_axis_labels_show_value_range(self):
+        text = render_plot("t", "x", "y",
+                           {"s": [(2.0, 0.001), (8.0, 0.009)]})
+        assert "2" in text and "8" in text
+        assert "1.00e-03" in text or "0.001" in text

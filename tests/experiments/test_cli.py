@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "10x10 torus" in out
+        assert "Total Devices" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serial_packet" in out
+        assert "4-port 3-tree" in out
+
+    def test_discover(self, capsys):
+        code = main(["discover", "--topology", "3x3 mesh",
+                     "--algorithm", "parallel"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "devices_found        : 18" in out
+        assert "database_correct" in out
+
+    def test_discover_with_factors(self, capsys):
+        main(["discover", "--topology", "3x3 mesh",
+              "--fm-factor", "4", "--device-factor", "0.5"])
+        fast = capsys.readouterr().out
+        main(["discover", "--topology", "3x3 mesh"])
+        base = capsys.readouterr().out
+
+        def extract(text):
+            for line in text.splitlines():
+                if "discovery_time" in line:
+                    return line.split(":")[1].strip()
+            raise AssertionError("no discovery_time line")
+
+        assert extract(fast) != extract(base)
+
+    def test_change(self, capsys):
+        code = main(["change", "--topology", "3x3 mesh", "--seed", "1",
+                     "--kind", "add_switch"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "change                 : add_switch" in out
+
+    def test_figure7(self, capsys):
+        assert main(["figure", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7(a)" in out
+        assert "parallel period = T_FM" in out
+
+    def test_figure4_quick(self, capsys):
+        assert main(["figure", "4", "--quick"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["discover", "--topology", "17x17 hypermesh"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

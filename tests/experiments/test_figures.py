@@ -1,0 +1,152 @@
+"""Tests for the experiment sweeps and figure builders (small scale)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure_table1,
+    overhead_comparison,
+)
+from repro.experiments.runner import run_change_experiment
+from repro.experiments.sweep import (
+    measure_initial_discovery,
+    sweep_change_experiments,
+    sweep_device_factor,
+    sweep_fm_factor,
+)
+from repro.manager import ALGORITHMS, PARALLEL, SERIAL_PACKET
+from repro.topology import make_mesh, table1_topology
+
+SMALL = [make_mesh(2, 2), make_mesh(2, 3)]
+
+
+class TestRunner:
+    def test_change_experiment_result_fields(self):
+        result = run_change_experiment(make_mesh(3, 3), seed=3)
+        d = result.asdict()
+        assert d["topology"] == "3x3 mesh"
+        assert d["database_correct"] is True
+        assert d["discovery_time"] > 0
+        assert 0 < d["active_devices"] <= 18
+
+    def test_unknown_change_kind_rejected(self):
+        with pytest.raises(ValueError):
+            run_change_experiment(make_mesh(2, 2), change="paint_it_red")
+
+    def test_removal_reduces_active_devices(self):
+        result = run_change_experiment(make_mesh(3, 3),
+                                       change="remove_switch", seed=0)
+        assert result.active_devices < result.total_devices
+
+    def test_seeds_choose_different_victims(self):
+        victims = {
+            run_change_experiment(make_mesh(3, 3), seed=s).changed_device
+            for s in range(6)
+        }
+        assert len(victims) > 1
+
+
+class TestSweeps:
+    def test_change_sweep_shape(self):
+        results = sweep_change_experiments(
+            topologies=SMALL, algorithms=(PARALLEL,), seeds=range(2)
+        )
+        assert len(results) == len(SMALL) * 2
+        assert all(r.database_correct for r in results)
+
+    def test_fm_factor_sweep_monotone(self):
+        series = sweep_fm_factor(
+            make_mesh(2, 2), factors=(0.5, 1.0, 2.0),
+            algorithms=(SERIAL_PACKET,),
+        )
+        times = [t for _f, t in series[SERIAL_PACKET]]
+        assert times[0] > times[1] > times[2]
+
+    def test_device_factor_sweep_monotone_for_serial(self):
+        series = sweep_device_factor(
+            make_mesh(2, 2), factors=(0.2, 1.0),
+            algorithms=(SERIAL_PACKET,),
+        )
+        times = dict(series[SERIAL_PACKET])
+        assert times[0.2] > times[1.0]
+
+    def test_measure_attaches_mean_fm_time(self):
+        stats = measure_initial_discovery(make_mesh(2, 2), PARALLEL)
+        assert 5e-6 < stats.mean_fm_time < 30e-6
+
+
+class TestFigureBuilders:
+    def test_table1(self):
+        rows, text = figure_table1()
+        assert len(rows) == 13
+        assert "10x10 torus" in text
+
+    def test_figure4_small(self):
+        data, text = figure4(topologies=SMALL)
+        assert set(data["series"]) == set(ALGORITHMS)
+        # Fig. 4 ordering in the measured values too.
+        for (_, sp), (_, pa) in zip(
+            data["series"]["serial_packet"], data["series"]["parallel"]
+        ):
+            assert sp > pa
+        assert "Fig. 4" in text
+
+    def test_figure6_small(self):
+        data, text = figure6(topologies=SMALL, seeds=range(1))
+        assert set(data["per_run"]) == set(ALGORITHMS)
+        assert "Fig. 6(a)" in text and "Fig. 6(b)" in text
+        # Parallel strictly fastest on every topology mean.
+        means = data["per_topology_mean"]
+        for (x_sp, t_sp), (x_p, t_p) in zip(
+            means["serial_packet"], means["parallel"]
+        ):
+            assert x_sp == x_p
+            assert t_p < t_sp
+
+    def test_figure7_slopes_match_model(self):
+        data, text = figure7(spec=make_mesh(2, 2))
+        ideal = data["ideal"]
+        assert data["slopes"]["parallel"] == pytest.approx(
+            ideal["parallel period = T_FM"], rel=0.1
+        )
+        assert data["slopes"]["serial_packet"] == pytest.approx(
+            ideal["serial period  = T_FM + 2*T_Prop + T_Device"], rel=0.1
+        )
+        assert "Fig. 7(b)" in text
+
+    def test_figure8_small(self):
+        data, text = figure8(
+            spec=make_mesh(2, 2),
+            fm_factors=(0.5, 1.0, 4.0),
+            device_factors=(0.2, 1.0),
+        )
+        fm = data["fm_factor"]
+        # Faster FM -> smaller times for every algorithm.
+        for algo, points in fm.items():
+            times = [t for _f, t in points]
+            assert times == sorted(times, reverse=True)
+        # Device slowdown hurts serial but not parallel.
+        dev = data["device_factor"]
+        sp = dict(dev["serial_packet"])
+        pa = dict(dev["parallel"])
+        assert sp[0.2] > sp[1.0] * 1.05
+        assert pa[0.2] < pa[1.0] * 1.05
+        assert "Fig. 8(a)" in text
+
+    def test_figure9_small(self):
+        data, text = figure9(topologies=[make_mesh(2, 2)], seeds=range(1))
+        assert set(data) == {"a", "b", "c"}
+        assert data["c"]["fm_factor"] == 4.0
+        assert "Fig. 9(c)" in text
+
+    def test_overhead_comparison_small(self):
+        data, text = overhead_comparison(topologies=SMALL)
+        for row in data:
+            requests = set(row["requests"].values())
+            assert len(requests) == 1  # identical across algorithms
+            assert row["expected_requests"] in requests
+        assert "S1." in text

@@ -1,0 +1,98 @@
+"""Tests for topology/result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments.io import (
+    IoError,
+    load_results,
+    load_spec,
+    results_to_dict,
+    save_results,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.experiments.runner import run_change_experiment
+from repro.sim import Environment
+from repro.topology import make_fattree, make_irregular, make_mesh
+
+
+class TestSpecRoundtrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: make_mesh(3, 3),
+            lambda: make_fattree(4, 2),
+            lambda: make_irregular(5, extra_links=2, seed=9),
+        ],
+        ids=["mesh", "tree", "irregular"],
+    )
+    def test_dict_roundtrip(self, builder):
+        spec = builder()
+        clone = spec_from_dict(spec_to_dict(spec))
+        assert clone.name == spec.name
+        assert clone.switches == spec.switches
+        assert clone.endpoints == spec.endpoints
+        assert clone.links == spec.links
+        assert clone.fm_host == spec.fm_host
+
+    def test_file_roundtrip_builds_identical_fabric(self, tmp_path):
+        spec = make_mesh(2, 3)
+        path = save_spec(spec, tmp_path / "mesh.json")
+        clone = load_spec(path)
+        a = spec.build(Environment())
+        b = clone.build(Environment())
+        a.power_up()
+        b.power_up()
+        ga, gb = a.graph(), b.graph()
+        assert set(ga.nodes) == set(gb.nodes)
+        assert set(map(frozenset, ga.edges)) == set(map(frozenset, gb.edges))
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(IoError, match="schema"):
+            spec_from_dict({"schema": "something/else"})
+
+    def test_malformed_document_rejected(self):
+        doc = spec_to_dict(make_mesh(2, 2))
+        del doc["links"]
+        with pytest.raises(IoError, match="malformed"):
+            spec_from_dict(doc)
+
+    def test_invalid_spec_content_rejected(self):
+        doc = spec_to_dict(make_mesh(2, 2))
+        doc["links"].append(["ghost", 0, "sw_0_0", 9])
+        with pytest.raises(Exception):
+            spec_from_dict(doc)
+
+
+class TestResultsRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        results = [
+            run_change_experiment(make_mesh(2, 2), seed=s) for s in range(2)
+        ]
+        path = save_results(results, tmp_path / "runs.json")
+        loaded = load_results(path)
+        assert len(loaded) == 2
+        assert loaded[0]["topology"] == "2x2 mesh"
+        assert loaded[0]["database_correct"] is True
+
+    def test_json_is_plain_data(self, tmp_path):
+        results = [run_change_experiment(make_mesh(2, 2), seed=0)]
+        doc = results_to_dict(results)
+        json.dumps(doc)  # must not raise
+
+    def test_schema_checked_on_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "runs": []}))
+        with pytest.raises(IoError, match="schema"):
+            load_results(path)
+
+    def test_runs_must_be_a_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            {"schema": "repro/experiment-results/v1", "runs": 7}
+        ))
+        with pytest.raises(IoError, match="list"):
+            load_results(path)

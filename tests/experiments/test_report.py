@@ -1,0 +1,67 @@
+"""Tests for ASCII report rendering."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_value,
+    render_kv,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatValue:
+    def test_booleans(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_microseconds(self):
+        assert format_value(15e-6) == "15.00u"
+
+    def test_milliseconds(self):
+        assert format_value(2.5e-3) == "2.500m"
+
+    def test_plain_numbers(self):
+        assert format_value(42) == "42"
+        assert format_value(3.25) == "3.25"
+        assert format_value(0.0) == "0"
+
+    def test_strings_passthrough(self):
+        assert format_value("8x8 mesh") == "8x8 mesh"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        widths = {len(line) for line in lines if line.strip()}
+        assert len({len(lines[1]), len(lines[2]), len(lines[3])}) <= 2
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_union_of_x_values(self):
+        text = render_series(
+            "T", "x", "y",
+            {"s1": [(1, 10.0), (2, 20.0)], "s2": [(2, 5.0), (3, 6.0)]},
+        )
+        assert "T" in text
+        lines = text.splitlines()
+        assert any(line.startswith("1 ") for line in lines)
+        assert any(line.startswith("3 ") for line in lines)
+        # Missing points rendered as '-'.
+        assert "-" in lines[-1] or "-" in lines[2]
+
+    def test_kv_block(self):
+        text = render_kv("Title", {"alpha": 1, "beta_long": 2.5e-6})
+        assert text.splitlines()[0] == "Title"
+        assert "2.50u" in text

@@ -1,0 +1,69 @@
+"""Staggered bring-up: the FM converges as devices appear.
+
+With devices activating at random times, the FM's first discovery only
+sees what is already alive.  But every discovered device gets an event
+route, so when a late device's link trains, its already-known
+neighbour reports PI-5 and the FM assimilates — the system converges
+to the full topology without any global synchronization.
+"""
+
+import pytest
+
+from repro.experiments.runner import (
+    build_simulation,
+    database_matches_fabric,
+)
+from repro.manager import PARALLEL
+from repro.topology import make_mesh, make_torus
+
+
+def staggered(spec, stagger, seed):
+    setup = build_simulation(spec, algorithm=PARALLEL, power_up=False)
+    setup.fabric.power_up(stagger=stagger, seed=seed,
+                          first=setup.fm.endpoint.name)
+    return setup
+
+
+def settle(setup, horizon):
+    env = setup.env
+    env.run(until=horizon)
+    for _ in range(100):
+        if not setup.fm.is_discovering:
+            break
+        env.run(until=env.now + 10e-3)
+    env.run(until=env.now + 30e-3)
+
+
+class TestStaggeredBringup:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_converges_to_full_topology(self, seed):
+        spec = make_mesh(3, 3)
+        setup = staggered(spec, stagger=20e-3, seed=seed)
+        settle(setup, horizon=40e-3)
+        assert database_matches_fabric(setup)
+        assert len(setup.fm.database) == spec.total_devices
+
+    def test_multiple_assimilations_happened(self):
+        """A slow transient forces the FM through several rounds."""
+        spec = make_mesh(3, 3)
+        setup = staggered(spec, stagger=30e-3, seed=5)
+        settle(setup, horizon=60e-3)
+        assert database_matches_fabric(setup)
+        assert len(setup.fm.history) >= 2
+        triggers = [s.trigger for s in setup.fm.history]
+        assert triggers[0] == "initial"
+        assert "change" in triggers[1:]
+
+    def test_fast_transient_single_discovery(self):
+        """If everything is up before the FM finishes its first pass,
+        one discovery suffices (live port reads see the late arrivals)."""
+        spec = make_mesh(2, 2)
+        setup = staggered(spec, stagger=0.05e-3, seed=9)
+        settle(setup, horizon=20e-3)
+        assert database_matches_fabric(setup)
+
+    def test_torus_bringup(self):
+        spec = make_torus(3, 3)
+        setup = staggered(spec, stagger=15e-3, seed=11)
+        settle(setup, horizon=40e-3)
+        assert database_matches_fabric(setup)

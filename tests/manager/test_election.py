@@ -1,0 +1,170 @@
+"""Tests for the distributed FM election."""
+
+import pytest
+
+from repro.fabric.fabric import Fabric
+from repro.manager.election import (
+    Candidacy,
+    Election,
+    ElectionError,
+)
+from repro.protocols import ManagementEntity
+from repro.sim import Environment
+from repro.topology import make_mesh, make_torus
+
+
+def build(spec, priorities=None):
+    """Power up a spec with entities; optional per-endpoint priority."""
+    env = Environment()
+    fabric = spec.build(env)
+    if priorities:
+        for name, priority in priorities.items():
+            fabric.device(name).fm_priority = priority
+    entities = {n: ManagementEntity(d) for n, d in fabric.devices.items()}
+    fabric.power_up()
+    return env, fabric, entities
+
+
+class TestCandidacyMessage:
+    def test_pack_unpack(self):
+        c = Candidacy(priority=7, dsn=0xDEAD_BEEF_0001, seq=3)
+        assert Candidacy.unpack(c.pack()) == c
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(Candidacy(priority=1, dsn=2, seq=3).pack())
+        raw[0] ^= 0xFF
+        with pytest.raises(ElectionError, match="magic"):
+            Candidacy.unpack(bytes(raw))
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(ElectionError, match="short"):
+            Candidacy.unpack(b"\x00\x01")
+
+    def test_rank_orders_by_priority_then_dsn(self):
+        low = Candidacy(priority=1, dsn=100, seq=1)
+        high = Candidacy(priority=2, dsn=1, seq=1)
+        tie_a = Candidacy(priority=2, dsn=50, seq=1)
+        assert high.rank > low.rank
+        assert tie_a.rank > low.rank
+        assert high.rank < tie_a.rank  # same priority, higher dsn wins
+
+
+class TestElection:
+    def test_highest_dsn_wins_at_equal_priority(self):
+        spec = make_mesh(2, 2)
+        env, fabric, entities = build(spec)
+        election = Election(entities, seed=1)
+        result = env.run(until=election.run())
+        assert result.consensus
+        expected = max(ep.dsn for ep in fabric.endpoints())
+        assert result.primary_dsn == expected
+
+    def test_priority_overrides_dsn(self):
+        spec = make_mesh(2, 2)
+        env, fabric, entities = build(
+            spec, priorities={"ep_0_0": 10}
+        )
+        election = Election(entities, seed=2)
+        result = env.run(until=election.run())
+        assert result.consensus
+        assert result.primary_dsn == fabric.device("ep_0_0").dsn
+
+    def test_secondary_is_runner_up(self):
+        spec = make_mesh(2, 2)
+        env, fabric, entities = build(
+            spec, priorities={"ep_0_0": 10, "ep_1_1": 5}
+        )
+        election = Election(entities, seed=3)
+        result = env.run(until=election.run())
+        assert result.primary_dsn == fabric.device("ep_0_0").dsn
+        assert result.secondary_dsn == fabric.device("ep_1_1").dsn
+
+    def test_flood_terminates_on_cyclic_topology(self):
+        """Duplicate suppression bounds the flood on a torus."""
+        spec = make_torus(3, 3)
+        env, fabric, entities = build(spec)
+        election = Election(entities, seed=4)
+        result = env.run(until=election.run())
+        assert result.consensus
+        # Every candidate was seen by every endpoint.
+        for view in result.views.values():
+            assert view == (result.primary_dsn, result.secondary_dsn)
+        suppressed = sum(
+            e.stats["election_duplicates_suppressed"]
+            for e in entities.values()
+        )
+        assert suppressed > 0  # cycles actually produced duplicates
+
+    def test_all_endpoints_see_all_candidates(self):
+        spec = make_mesh(3, 3)
+        env, fabric, entities = build(spec)
+        election = Election(entities, seed=5)
+        env.run(until=election.run())
+        n_candidates = len(fabric.endpoints())
+        for name, agent in election.agents.items():
+            if agent.is_candidate:
+                assert len(agent.candidates) == n_candidates
+
+    def test_non_fm_capable_endpoints_do_not_run(self):
+        spec = make_mesh(2, 2)
+        env = Environment()
+        fabric = spec.build(env)
+        fabric.device("ep_0_0").fm_capable = False
+        entities = {
+            n: ManagementEntity(d) for n, d in fabric.devices.items()
+        }
+        fabric.power_up()
+        election = Election(entities, seed=6)
+        result = env.run(until=election.run())
+        assert result.primary_dsn != fabric.device("ep_0_0").dsn
+        assert fabric.device("ep_0_0").dsn not in result.views
+
+    def test_agent_cannot_announce_from_switch(self):
+        spec = make_mesh(2, 2)
+        env, fabric, entities = build(spec)
+        election = Election(entities, seed=7)
+        switch_agent = election.agents["sw_0_0"]
+        with pytest.raises(ElectionError):
+            switch_agent.announce()
+
+    def test_validation(self):
+        spec = make_mesh(2, 2)
+        env, fabric, entities = build(spec)
+        with pytest.raises(ValueError):
+            Election(entities, settle_time=0)
+        with pytest.raises(ElectionError):
+            Election({})
+
+
+class TestPartitionedElection:
+    def test_split_brain_on_partitioned_fabric(self):
+        """Each half of a partitioned fabric elects its own primary —
+        the classic split-brain outcome a real deployment must detect
+        by other means (the election itself cannot)."""
+        spec = make_mesh(1, 4)  # a line: easy to cut in half
+        env, fabric, entities = build(spec)
+        fabric.fail_link("sw_0_1", "sw_0_2")
+        election = Election(entities, seed=9)
+        result = env.run(until=election.run())
+
+        assert not result.consensus
+        views = set(result.views.values())
+        assert len(views) == 2  # two camps
+        # Each side elected the best candidate it could reach.
+        left = {fabric.device(n).dsn for n in ("ep_0_0", "ep_0_1")}
+        right = {fabric.device(n).dsn for n in ("ep_0_2", "ep_0_3")}
+        for dsn, (primary, _secondary) in result.views.items():
+            side = left if dsn in left else right
+            assert primary == max(side)
+
+    def test_late_rerun_after_heal_converges(self):
+        spec = make_mesh(1, 4)
+        env, fabric, entities = build(spec)
+        fabric.fail_link("sw_0_1", "sw_0_2")
+        election = Election(entities, seed=10)
+        env.run(until=election.run())
+        # Heal and run a fresh round.
+        fabric.restore_link("sw_0_1", "sw_0_2")
+        election2 = Election(entities, seed=11)
+        result = env.run(until=election2.run())
+        assert result.consensus

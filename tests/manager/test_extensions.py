@@ -1,0 +1,252 @@
+"""Tests for the future-work extensions: partial and distributed discovery."""
+
+import pytest
+
+from repro.capability import CLAIM_CAP_ID
+from repro.experiments.runner import (
+    build_simulation,
+    database_matches_fabric,
+    run_until_discovery_count,
+    run_until_ready,
+)
+from repro.manager import PARALLEL, FabricManager
+from repro.manager.discovery.distributed import (
+    ClaimingParallelDiscovery,
+    CollaborativeDiscovery,
+)
+from repro.manager.discovery.partial import PartialAssimilationManager
+from repro.protocols.entity import ManagementEntity
+from repro.routing.paths import fabric_route
+from repro.topology import make_mesh, make_torus
+
+
+def build_partial(spec, **kwargs):
+    """build_simulation wired to a PartialAssimilationManager."""
+    from repro.sim import Environment
+
+    env = Environment()
+    fabric = spec.build(env)
+    entities = {
+        name: ManagementEntity(device)
+        for name, device in fabric.devices.items()
+    }
+    host = spec.fm_host
+    fm = PartialAssimilationManager(
+        fabric.device(host), entities[host], auto_start=False, **kwargs
+    )
+    fabric.power_up()
+
+    class Setup:
+        pass
+
+    setup = Setup()
+    setup.env, setup.fabric, setup.entities, setup.fm, setup.spec = (
+        env, fabric, entities, fm, spec,
+    )
+    return setup
+
+
+class TestPartialAssimilation:
+    def test_removal_assimilated_with_few_packets(self):
+        setup = build_partial(make_mesh(4, 4))
+        setup.fm.start_discovery()
+        full = run_until_ready(setup)
+
+        setup.fabric.remove_device("sw_2_2")
+        partial = run_until_discovery_count(setup, 2)
+        setup.env.run(until=setup.fm.ready_event)
+
+        assert partial.algorithm == "partial"
+        assert database_matches_fabric(setup)
+        # A confirm read per reporting neighbour (4 mesh neighbours +
+        # none for the dead endpoint) vs ~600 for full rediscovery.
+        assert partial.requests_sent < full.requests_sent / 10
+
+    def test_removal_faster_than_full_rediscovery(self):
+        spec = make_mesh(4, 4)
+        # Full rediscovery baseline.
+        base = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+        base.fm.start_discovery()
+        run_until_ready(base)
+        base.fabric.remove_device("sw_2_2")
+        full = run_until_discovery_count(base, 2)
+
+        setup = build_partial(spec)
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+        setup.fabric.remove_device("sw_2_2")
+        partial = run_until_discovery_count(setup, 2)
+
+        # The fixed liveness-probe timeout (1 ms) dominates at this
+        # small scale; the packet saving is the >10x headline (above).
+        assert partial.discovery_time < full.discovery_time / 2
+
+    def test_addition_assimilated_correctly(self):
+        setup = build_partial(make_mesh(3, 3))
+        setup.fabric.remove_device("sw_2_2")
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+
+        setup.fabric.restore_device("sw_2_2")
+        partial = run_until_discovery_count(setup, 2)
+        setup.env.run(until=setup.fm.ready_event)
+
+        assert partial.algorithm == "partial"
+        assert database_matches_fabric(setup)
+        # The new region (switch + endpoint) was explored: general +
+        # port reads happened, but far fewer than a full run.
+        assert partial.requests_sent >= 1 + 16 + 1
+        assert partial.requests_sent < 60
+
+    def test_routes_usable_after_partial_removal(self):
+        """Surviving devices remain addressable (routes recomputed)."""
+        setup = build_partial(make_mesh(3, 3))
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+        # Remove a switch that sits on many discovered shortest paths.
+        setup.fabric.remove_device("sw_1_1")
+        run_until_discovery_count(setup, 2)
+        setup.env.run(until=setup.fm.ready_event)
+        assert database_matches_fabric(setup)
+
+        # Address the farthest endpoint through the updated routes.
+        from repro.capability import BASELINE_CAP_ID
+        from repro.protocols import pi4
+
+        record = setup.fm.database.device(
+            setup.fabric.device("ep_2_2").dsn
+        )
+        got = []
+        setup.fm.send_request(
+            pi4.ReadRequest(cap_id=BASELINE_CAP_ID, offset=0, tag=0),
+            record.route(), record.out_port,
+            callback=lambda c, _ctx: got.append(c),
+        )
+        setup.env.run(until=setup.env.now + 1e-3)
+        assert len(got) == 1 and got[0] is not None
+
+    def test_unknown_reporter_falls_back_to_full(self):
+        setup = build_partial(make_mesh(3, 3))
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+
+        # Forge an event from a DSN the FM has never seen.
+        from repro.protocols import pi5
+
+        setup.fm.handle_local_event(
+            pi5.PortEvent(reporter_dsn=0xDEAD, port=0, up=False, seq=1)
+        )
+        stats = run_until_discovery_count(setup, 2)
+        assert stats.algorithm != "partial"  # full fallback ran
+        assert setup.fm.counters["partial_fallbacks"] >= 1
+
+
+class TestCollaborativeDiscovery:
+    def build_pair(self, spec):
+        setup = build_simulation(spec, algorithm=PARALLEL,
+                                 auto_start=False)
+        helper_host = sorted(
+            ep for ep in spec.endpoints if ep != spec.fm_host
+        )[-1]
+        helper_fm = FabricManager(
+            setup.fabric.device(helper_host),
+            setup.entities[helper_host],
+            algorithm=PARALLEL, auto_start=False,
+        )
+        route = fabric_route(setup.fabric, helper_host, spec.fm_host)
+        return setup, helper_fm, route
+
+    def test_union_covers_entire_fabric(self):
+        spec = make_mesh(4, 4)
+        setup, helper_fm, route = self.build_pair(spec)
+        collab = CollaborativeDiscovery(
+            setup.fm, [(helper_fm, route)], generation=1
+        )
+        stats = setup.env.run(until=collab.run())
+        assert database_matches_fabric(setup)
+        assert stats.merge_writes == stats.region_sizes[
+            helper_fm.endpoint.name
+        ]
+
+    def test_regions_partition_devices(self):
+        spec = make_mesh(4, 4)
+        setup, helper_fm, route = self.build_pair(spec)
+        collab = CollaborativeDiscovery(
+            setup.fm, [(helper_fm, route)], generation=1
+        )
+        setup.env.run(until=collab.run())
+        primary_exp = setup.fm.discovery
+        helper_exp = helper_fm.discovery
+        assert isinstance(primary_exp, ClaimingParallelDiscovery)
+        # Every device owned by exactly one FM.
+        assert primary_exp.owned.isdisjoint(helper_exp.owned)
+        total = len(primary_exp.owned | helper_exp.owned)
+        assert total == spec.total_devices
+
+    def test_claims_visible_on_devices(self):
+        spec = make_mesh(3, 3)
+        setup, helper_fm, route = self.build_pair(spec)
+        collab = CollaborativeDiscovery(
+            setup.fm, [(helper_fm, route)], generation=7
+        )
+        setup.env.run(until=collab.run())
+        owners = {setup.fm.endpoint.dsn, helper_fm.endpoint.dsn}
+        claimed = 0
+        for device in setup.fabric.devices.values():
+            claim = device.config_space.capability(CLAIM_CAP_ID).get_claim()
+            if claim is not None:
+                owner, generation = claim
+                # Merge writes bump the generation; exploration claims
+                # carry the round's generation.
+                assert generation in (7, 8)
+                if generation == 7:
+                    assert owner in owners
+                claimed += 1
+        assert claimed == spec.total_devices
+
+    def test_collaboration_beats_single_fm_on_large_fabric(self):
+        spec = make_torus(6, 6)
+        # Single-FM parallel baseline.
+        solo = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+        solo.fm.start_discovery()
+        solo_stats = run_until_ready(solo)
+
+        setup, helper_fm, route = self.build_pair(spec)
+        collab = CollaborativeDiscovery(
+            setup.fm, [(helper_fm, route)], generation=1
+        )
+        stats = setup.env.run(until=collab.run())
+        assert stats.total_time < solo_stats.discovery_time
+
+    def test_requires_helpers(self):
+        spec = make_mesh(2, 2)
+        setup, helper_fm, route = self.build_pair(spec)
+        with pytest.raises(ValueError):
+            CollaborativeDiscovery(setup.fm, [])
+
+
+class TestThreeWayCollaboration:
+    def test_three_fms_partition_and_merge(self):
+        spec = make_torus(4, 4)
+        setup = build_simulation(spec, algorithm=PARALLEL,
+                                 auto_start=False)
+        helpers = []
+        for host in ("ep_2_2", "ep_0_3"):
+            fm = FabricManager(
+                setup.fabric.device(host), setup.entities[host],
+                algorithm=PARALLEL, auto_start=False,
+            )
+            route = fabric_route(setup.fabric, host, spec.fm_host)
+            helpers.append((fm, route))
+        collab = CollaborativeDiscovery(setup.fm, helpers, generation=3)
+        stats = setup.env.run(until=collab.run())
+
+        assert database_matches_fabric(setup)
+        regions = list(stats.region_sizes.values())
+        assert sum(regions) == spec.total_devices
+        assert all(size > 0 for size in regions)
+        # Merge writes: one per helper-owned device.
+        helper_devices = sum(
+            stats.region_sizes[fm.endpoint.name] for fm, _r in helpers
+        )
+        assert stats.merge_writes == helper_devices

@@ -1,0 +1,127 @@
+"""Tests for FM failover and path distribution."""
+
+import pytest
+
+from repro.capability import PATH_TABLE_CAP_ID
+from repro.experiments.runner import (
+    build_simulation,
+    database_matches_fabric,
+    run_until_ready,
+)
+from repro.manager import PARALLEL, FabricManager
+from repro.manager.failover import StandbyManager
+from repro.manager.path_distribution import PathDistributor
+from repro.routing.paths import fabric_route
+from repro.topology import make_mesh
+
+
+def primary_and_standby(spec):
+    """Primary FM on the spec's host, standby on the far corner."""
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    standby_host = sorted(
+        ep for ep in spec.endpoints if ep != (spec.fm_host or "")
+    )[-1]
+    standby_fm = FabricManager(
+        setup.fabric.device(standby_host),
+        setup.entities[standby_host],
+        algorithm=PARALLEL,
+        auto_start=False,
+        request_timeout=0.3e-3,
+        max_retries=0,
+    )
+    route = fabric_route(setup.fabric, standby_host, spec.fm_host)
+    standby = StandbyManager(
+        standby_fm, primary_route=route,
+        heartbeat_interval=1e-3, miss_threshold=2,
+    )
+    return setup, standby
+
+
+class TestFailover:
+    def test_healthy_primary_keeps_standby_passive(self):
+        setup, standby = primary_and_standby(make_mesh(3, 3))
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+        standby.start()
+        setup.env.run(until=setup.env.now + 20e-3)
+        assert not standby.active
+        assert standby.heartbeats_answered >= 10
+        assert standby.misses == 0
+
+    def test_takeover_after_primary_death(self):
+        setup, standby = primary_and_standby(make_mesh(3, 3))
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+        standby.start()
+        setup.env.run(until=setup.env.now + 5e-3)
+
+        # Kill the primary FM's endpoint (heartbeats start failing).
+        setup.fabric.remove_device(setup.fm.endpoint.name)
+        report = setup.env.run(until=standby.takeover_event)
+
+        assert standby.active
+        assert report.missed_heartbeats >= 2
+        assert report.recovery_time > 0
+        # The standby discovered the post-failure topology from its own
+        # endpoint: everything reachable except the dead primary.
+        found = len(standby.fm.database)
+        reachable = len(
+            setup.fabric.reachable_devices(standby.fm.endpoint.name)
+        )
+        assert found == reachable
+
+    def test_validation(self):
+        setup, standby = primary_and_standby(make_mesh(2, 2))
+        with pytest.raises(ValueError):
+            StandbyManager(standby.fm, (None, 0), heartbeat_interval=0)
+        with pytest.raises(ValueError):
+            StandbyManager(standby.fm, (None, 0), miss_threshold=0)
+        standby.start()
+        with pytest.raises(RuntimeError):
+            standby.start()
+
+
+class TestPathDistribution:
+    @pytest.fixture(scope="class")
+    def distributed(self):
+        setup = build_simulation(make_mesh(3, 3), algorithm=PARALLEL,
+                                 auto_start=False)
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+        distributor = PathDistributor(setup.fm)
+        stats = setup.env.run(until=distributor.distribute())
+        return setup, stats
+
+    def test_every_pair_distributed(self, distributed):
+        setup, stats = distributed
+        n = 9  # endpoints in a 3x3 mesh
+        assert stats.endpoints == n
+        assert stats.entries_written == n * (n - 1)
+        assert stats.write_failures == 0
+        assert stats.duration > 0
+
+    def test_tables_loaded_on_devices(self, distributed):
+        setup, _ = distributed
+        for endpoint in setup.fabric.endpoints():
+            table = endpoint.config_space.capability(PATH_TABLE_CAP_ID)
+            entries = table.entries()
+            assert len(entries) == 8
+
+    def test_distributed_routes_actually_deliver(self, distributed):
+        """Endpoints can use their tables to reach each other."""
+        from repro.fabric import Packet, make_management_header
+        from repro.fabric.packet import PI_DEVICE_MANAGEMENT
+
+        setup, _ = distributed
+        src = setup.fabric.device("ep_1_1")
+        dst = setup.fabric.device("ep_2_0")
+        table = src.config_space.capability(PATH_TABLE_CAP_ID)
+        pool, pointer = table.lookup(dst.dsn)
+
+        got = []
+        dst.local_handler = lambda packet, port: got.append(packet)
+        header = make_management_header(pool, pointer,
+                                        pi=PI_DEVICE_MANAGEMENT)
+        src.inject(Packet(header=header), port_index=0)
+        setup.env.run(until=setup.env.now + 1e-4)
+        assert len(got) == 1

@@ -1,0 +1,191 @@
+"""Tests for multicast tables, capability, and group management."""
+
+import pytest
+
+from repro.capability.multicast import (
+    MULTICAST_CAP_ID,
+    OP_ADD,
+    OP_CLEAR,
+    OP_REMOVE,
+    encode_op,
+)
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.fabric import Packet
+from repro.fabric.header import RouteHeader
+from repro.fabric.packet import PI_MULTICAST
+from repro.manager import PARALLEL
+from repro.manager.multicast import (
+    MulticastError,
+    MulticastGroupManager,
+    compute_group_tree,
+)
+from repro.routing.tables import MulticastForwardingTable, MulticastTableError
+from repro.topology import make_mesh, make_torus
+
+
+class TestForwardingTable:
+    def test_add_lookup_remove(self):
+        table = MulticastForwardingTable(16)
+        table.add_port(5, 2)
+        table.add_port(5, 7)
+        assert table.ports_for(5) == {2, 7}
+        table.remove_port(5, 2)
+        assert table.ports_for(5) == {7}
+        table.remove_port(5, 7)
+        assert 5 not in table
+
+    def test_egress_excludes_ingress(self):
+        table = MulticastForwardingTable(16)
+        table.set_ports(1, {2, 3, 4})
+        assert table.egress_ports(1, ingress=3) == [2, 4]
+        assert table.egress_ports(1, ingress=9) == [2, 3, 4]
+
+    def test_unprogrammed_group_is_empty(self):
+        table = MulticastForwardingTable(16)
+        assert table.ports_for(99) == frozenset()
+        assert 99 not in table
+
+    def test_validation(self):
+        table = MulticastForwardingTable(4)
+        with pytest.raises(MulticastTableError):
+            table.add_port(1, 4)
+        with pytest.raises(MulticastTableError):
+            table.add_port(1 << 16, 0)
+        with pytest.raises(MulticastTableError):
+            MulticastForwardingTable(0)
+
+
+class TestMulticastCapability:
+    @pytest.fixture
+    def rig(self):
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        return setup, setup.fabric.device("sw_0_0")
+
+    def test_write_ops_program_table(self, rig):
+        setup, switch = rig
+        switch.config_space.write(
+            MULTICAST_CAP_ID, 0,
+            [encode_op(OP_ADD, 7, 1), encode_op(OP_ADD, 7, 3)],
+        )
+        assert switch.mcast_table.ports_for(7) == {1, 3}
+        switch.config_space.write(
+            MULTICAST_CAP_ID, 0, [encode_op(OP_REMOVE, 7, 1)]
+        )
+        assert switch.mcast_table.ports_for(7) == {3}
+        switch.config_space.write(
+            MULTICAST_CAP_ID, 0, [encode_op(OP_CLEAR, 7)]
+        )
+        assert 7 not in switch.mcast_table
+
+    def test_read_returns_bitmap(self, rig):
+        setup, switch = rig
+        switch.mcast_table.set_ports(3, {0, 4})
+        bitmap = switch.config_space.read(MULTICAST_CAP_ID, 3, 1)[0]
+        assert bitmap == (1 << 0) | (1 << 4)
+
+    def test_bad_op_rejected(self, rig):
+        setup, switch = rig
+        from repro.capability import ConfigSpaceError
+
+        with pytest.raises(ConfigSpaceError):
+            switch.config_space.write(MULTICAST_CAP_ID, 0, [0x7F << 24])
+
+
+def discovered(spec):
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    setup.fm.start_discovery()
+    run_until_ready(setup)
+    return setup
+
+
+def send_multicast(setup, src_name, group):
+    header = RouteHeader(pi=PI_MULTICAST, tc=7, ts=1,
+                         turn_pointer=0, turn_pool=group)
+    setup.fabric.device(src_name).inject(Packet(header=header,
+                                                payload=b"MC"))
+
+
+def attach_counters(setup, names):
+    counts = {name: 0 for name in names}
+    for name in names:
+        entity = setup.entities[name]
+
+        def handler(packet, port, _name=name):
+            counts[_name] += 1
+
+        entity.flood_handler = handler
+    return counts
+
+
+class TestGroupTree:
+    def test_tree_spans_members(self):
+        setup = discovered(make_mesh(3, 3))
+        db = setup.fm.database
+        members = [setup.fabric.device(n).dsn
+                   for n in ("ep_0_0", "ep_2_2", "ep_0_2")]
+        tree = compute_group_tree(db, members)
+        # Member endpoints and their attachment switches are on it.
+        for name in ("ep_0_0", "ep_2_2", "ep_0_2", "sw_0_0", "sw_2_2"):
+            assert setup.fabric.device(name).dsn in tree
+
+    def test_needs_two_members(self):
+        setup = discovered(make_mesh(2, 2))
+        with pytest.raises(MulticastError):
+            compute_group_tree(setup.fm.database,
+                               [setup.fabric.device("ep_0_0").dsn])
+
+    def test_switch_member_rejected(self):
+        setup = discovered(make_mesh(2, 2))
+        with pytest.raises(MulticastError, match="not an endpoint"):
+            compute_group_tree(
+                setup.fm.database,
+                [setup.fabric.device("ep_0_0").dsn,
+                 setup.fabric.device("sw_0_0").dsn],
+            )
+
+
+class TestEndToEndMulticast:
+    def test_every_member_receives_exactly_one_copy(self):
+        setup = discovered(make_mesh(3, 3))
+        member_names = ["ep_0_0", "ep_2_2", "ep_0_2", "ep_2_0"]
+        members = [setup.fabric.device(n).dsn for n in member_names]
+        manager = MulticastGroupManager(setup.fm)
+        stats = setup.env.run(until=manager.create_group(40, members))
+        assert stats.write_failures == 0
+        assert stats.switches_programmed >= 3
+
+        counts = attach_counters(setup, list(setup.entities))
+        send_multicast(setup, "ep_0_0", group=40)
+        setup.env.run(until=setup.env.now + 1e-4)
+
+        for name in member_names[1:]:
+            assert counts[name] == 1, name
+        # Non-member endpoints receive nothing.
+        for name in counts:
+            if name.startswith("ep") and name not in member_names:
+                assert counts[name] == 0, name
+
+    def test_any_member_can_be_the_source(self):
+        setup = discovered(make_torus(3, 3))
+        member_names = ["ep_0_0", "ep_1_1", "ep_2_2"]
+        members = [setup.fabric.device(n).dsn for n in member_names]
+        manager = MulticastGroupManager(setup.fm)
+        setup.env.run(until=manager.create_group(9, members))
+
+        for src in member_names:
+            counts = attach_counters(setup, member_names)
+            send_multicast(setup, src, group=9)
+            setup.env.run(until=setup.env.now + 1e-4)
+            for name in member_names:
+                expected = 0 if name == src else 1
+                assert counts[name] == expected, (src, name)
+
+    def test_unprogrammed_group_still_soft_floods(self):
+        """Election-style flooding keeps working for unknown groups."""
+        setup = discovered(make_mesh(2, 2))
+        got = []
+        setup.entities["sw_0_0"].flood_handler = \
+            lambda packet, port: got.append(packet)
+        send_multicast(setup, "ep_0_0", group=12345 & 0xFFFF)
+        setup.env.run(until=setup.env.now + 1e-4)
+        assert len(got) == 1  # delivered to the entity, not replicated

@@ -1,0 +1,114 @@
+"""Property-based end-to-end discovery tests on random fabrics."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments.runner import (
+    build_simulation,
+    database_matches_fabric,
+    run_until_ready,
+)
+from repro.analysis.model import expected_packets
+from repro.manager import ALGORITHMS, PARALLEL
+from repro.topology import make_irregular
+
+COMMON = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(
+    num_switches=st.integers(2, 10),
+    extra_links=st.integers(0, 6),
+    seed=st.integers(0, 1_000),
+    algorithm=st.sampled_from(list(ALGORITHMS)),
+)
+def test_any_connected_topology_is_discovered_exactly(
+    num_switches, extra_links, seed, algorithm
+):
+    """Soundness + completeness on arbitrary connected fabrics."""
+    spec = make_irregular(num_switches, extra_links=extra_links, seed=seed)
+    setup = build_simulation(spec, algorithm=algorithm, auto_start=False)
+    setup.fm.start_discovery()
+    stats = run_until_ready(setup)
+    assert stats.devices_found == spec.total_devices
+    assert database_matches_fabric(setup)
+    assert stats.timeouts == 0
+
+
+@COMMON
+@given(
+    num_switches=st.integers(2, 10),
+    extra_links=st.integers(0, 6),
+    seed=st.integers(0, 1_000),
+)
+def test_packet_count_matches_closed_form(num_switches, extra_links, seed):
+    """The packet model predicts every random topology exactly."""
+    spec = make_irregular(num_switches, extra_links=extra_links, seed=seed)
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    setup.fm.start_discovery()
+    stats = run_until_ready(setup)
+    assert stats.requests_sent == expected_packets(spec)
+
+
+@COMMON
+@given(
+    num_switches=st.integers(3, 8),
+    seed=st.integers(0, 500),
+    victim=st.integers(1, 7),
+)
+def test_random_removal_is_reassimilated_correctly(
+    num_switches, seed, victim
+):
+    """Rediscovery after removing a random non-FM switch is exact."""
+    from repro.experiments.runner import run_until_discovery_count
+
+    spec = make_irregular(num_switches, extra_links=2, seed=seed)
+    setup = build_simulation(spec, algorithm=PARALLEL)
+    run_until_ready(setup)
+
+    name = f"sw{victim % num_switches}"
+    if name == "sw0":
+        name = "sw1" if num_switches > 1 else name
+    setup.fabric.remove_device(name)
+    run_until_discovery_count(setup, 2)
+    setup.env.run(until=setup.fm.ready_event)
+    assert database_matches_fabric(setup)
+
+
+@COMMON
+@given(
+    num_switches=st.integers(2, 8),
+    extra_links=st.integers(0, 5),
+    seed=st.integers(0, 500),
+)
+def test_all_discovered_routes_deliver(num_switches, extra_links, seed):
+    """Every route in the database actually addresses its device."""
+    from repro.capability import BASELINE_CAP_ID
+    from repro.protocols import pi4
+
+    spec = make_irregular(num_switches, extra_links=extra_links, seed=seed)
+    setup = build_simulation(spec, algorithm=PARALLEL, auto_start=False)
+    setup.fm.start_discovery()
+    run_until_ready(setup)
+
+    answers = []
+    for record in setup.fm.database.devices():
+        if record.ingress_port is None:
+            continue
+        setup.fm.send_request(
+            pi4.ReadRequest(cap_id=BASELINE_CAP_ID, offset=1, tag=0,
+                            count=2),
+            record.route(), record.out_port,
+            callback=lambda completion, _ctx, dsn=record.dsn:
+                answers.append((dsn, completion)),
+        )
+    setup.env.run(until=setup.env.now + 5e-3)
+    assert len(answers) == len(setup.fm.database) - 1
+    for dsn, completion in answers:
+        assert isinstance(completion, pi4.ReadCompletion)
+        from repro.capability import unpack_u64
+
+        assert unpack_u64(*completion.data) == dsn

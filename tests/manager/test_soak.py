@@ -1,0 +1,136 @@
+"""Soak tests: repeated random changes with continuous assimilation."""
+
+import pytest
+
+from repro.experiments.runner import (
+    build_simulation,
+    database_matches_fabric,
+    run_until_ready,
+)
+from repro.manager import PARALLEL
+from repro.manager.discovery.partial import PartialAssimilationManager
+from repro.protocols.entity import ManagementEntity
+from repro.sim import Environment
+from repro.topology import make_mesh, make_torus
+from repro.workloads.faults import FaultInjector
+
+
+def fm_attachment_switch(setup):
+    neighbor = setup.fm.endpoint.ports[0].neighbor()
+    return neighbor.device.name
+
+
+def settle(setup, horizon=0.3):
+    """Run until the FM is idle and the fabric quiet."""
+    env = setup.env
+    deadline = env.now + horizon
+    while env.now < deadline:
+        if env.peek() > deadline:
+            break
+        env.step()
+    # Drain whatever discovery is still in flight.
+    guard = 0
+    while setup.fm.is_discovering and guard < 50:
+        env.run(until=env.now + 20e-3)
+        guard += 1
+
+
+class TestFaultInjector:
+    def test_schedule_is_reproducible(self):
+        logs = []
+        for _ in range(2):
+            setup = build_simulation(make_mesh(3, 3), auto_start=False)
+            injector = FaultInjector(setup.fabric, mean_interval=5e-3,
+                                     seed=77)
+            done = injector.run(faults=6)
+            log = setup.env.run(until=done)
+            logs.append([(e.kind, e.target) for e in log])
+        assert logs[0] == logs[1]
+
+    def test_protected_switch_never_removed(self):
+        setup = build_simulation(make_mesh(3, 3), auto_start=False)
+        injector = FaultInjector(setup.fabric, mean_interval=2e-3,
+                                 protect={"sw_0_0"}, seed=3)
+        done = injector.run(faults=15)
+        log = setup.env.run(until=done)
+        removed = [e.target for e in log if e.kind == "remove_switch"]
+        assert "sw_0_0" not in removed
+        assert len(log) > 0
+
+    def test_validation(self):
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        with pytest.raises(ValueError):
+            FaultInjector(setup.fabric, mean_interval=0)
+        injector = FaultInjector(setup.fabric)
+        injector.run(faults=1)
+        with pytest.raises(RuntimeError):
+            injector.run(faults=1)
+
+
+class TestSoakFullRediscovery:
+    def test_fm_converges_after_many_changes(self):
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL)
+        run_until_ready(setup)
+        injector = FaultInjector(
+            setup.fabric, mean_interval=40e-3,
+            protect={fm_attachment_switch(setup)}, seed=11,
+        )
+        done = injector.run(faults=12)
+        setup.env.run(until=done)
+        settle(setup)
+
+        assert len(injector.log) == 12
+        assert len(setup.fm.history) >= 3  # plenty of assimilations ran
+        assert database_matches_fabric(setup)
+
+    def test_soak_on_torus_with_link_flaps(self):
+        setup = build_simulation(make_torus(3, 3), algorithm=PARALLEL)
+        run_until_ready(setup)
+        injector = FaultInjector(
+            setup.fabric, mean_interval=30e-3,
+            protect={fm_attachment_switch(setup)}, seed=29,
+        )
+        done = injector.run(faults=10)
+        setup.env.run(until=done)
+        settle(setup)
+        assert database_matches_fabric(setup)
+
+
+class TestSoakPartialAssimilation:
+    def test_partial_manager_converges_after_many_changes(self):
+        env = Environment()
+        spec = make_mesh(4, 4)
+        fabric = spec.build(env)
+        entities = {
+            name: ManagementEntity(device)
+            for name, device in fabric.devices.items()
+        }
+        fm = PartialAssimilationManager(
+            fabric.device(spec.fm_host), entities[spec.fm_host],
+        )
+        fabric.power_up()
+
+        class Setup:
+            pass
+
+        setup = Setup()
+        setup.env, setup.fabric, setup.fm = env, fabric, fm
+        run_until_ready(setup)
+
+        injector = FaultInjector(
+            fabric, mean_interval=50e-3,
+            protect={fm_attachment_switch(setup)}, seed=5,
+        )
+        done = injector.run(faults=10)
+        env.run(until=done)
+        # Let the last burst finish.
+        for _ in range(60):
+            if not fm.is_discovering and not fm.is_assimilating:
+                break
+            env.run(until=env.now + 20e-3)
+        env.run(until=env.now + 50e-3)
+
+        assert database_matches_fabric(setup)
+        # Partial assimilation actually carried (some of) the load.
+        partials = [s for s in fm.history if s.algorithm == "partial"]
+        assert partials

@@ -1,0 +1,145 @@
+"""Unit and property tests for turn-pool source routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.routing.turnpool import (
+    Hop,
+    TurnPool,
+    TurnPoolError,
+    backward_egress,
+    build_turn_pool,
+    encode_turn,
+    forward_egress,
+    read_backward_turn,
+    read_forward_turn,
+    turn_width,
+    walk_forward,
+)
+
+
+class TestTurnWidth:
+    @pytest.mark.parametrize(
+        "nports,width",
+        [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (16, 4), (256, 8)],
+    )
+    def test_widths(self, nports, width):
+        assert turn_width(nports) == width
+
+    def test_single_port_device_cannot_route(self):
+        with pytest.raises(TurnPoolError):
+            turn_width(1)
+
+
+class TestTurnEncoding:
+    def test_forward_inverse_of_encode(self):
+        nports = 16
+        for in_port in range(nports):
+            for out_port in range(nports):
+                if in_port == out_port:
+                    continue
+                turn = encode_turn(in_port, out_port, nports)
+                assert forward_egress(in_port, turn, nports) == out_port
+
+    def test_backward_undoes_forward(self):
+        nports = 16
+        for in_port in range(nports):
+            for out_port in range(nports):
+                if in_port == out_port:
+                    continue
+                turn = encode_turn(in_port, out_port, nports)
+                # Backward packet enters at the forward egress and must
+                # leave through the forward ingress.
+                assert backward_egress(out_port, turn, nports) == in_port
+
+    def test_uturn_rejected(self):
+        with pytest.raises(TurnPoolError):
+            encode_turn(3, 3, 16)
+
+    def test_port_bounds_checked(self):
+        with pytest.raises(TurnPoolError):
+            encode_turn(16, 0, 16)
+        with pytest.raises(TurnPoolError):
+            forward_egress(-1, 0, 16)
+
+
+class TestBuildAndWalk:
+    def test_empty_route_is_self(self):
+        pool = build_turn_pool([])
+        assert pool.bits == 0
+        assert pool.pool == 0
+
+    def test_single_hop(self):
+        pool = build_turn_pool([Hop(16, 2, 7)])
+        assert pool.bits == 4
+        turn, pointer = read_forward_turn(pool.pool, pool.bits, 16)
+        assert pointer == 0
+        assert forward_egress(2, turn, 16) == 7
+
+    def test_walk_matches_construction(self):
+        hops = [Hop(16, 0, 5), Hop(16, 3, 9), Hop(4, 1, 2)]
+        pool = build_turn_pool(hops)
+        egresses = walk_forward(pool, [(h.nports, h.in_port) for h in hops])
+        assert egresses == [5, 9, 2]
+
+    def test_route_too_long_rejected(self):
+        hops = [Hop(256, 0, 1)] * 9  # 9 x 8 = 72 bits > 64
+        with pytest.raises(TurnPoolError, match="turn bits"):
+            build_turn_pool(hops)
+
+    def test_forward_read_exhaustion_detected(self):
+        pool = build_turn_pool([Hop(16, 0, 5)])
+        _, pointer = read_forward_turn(pool.pool, pool.bits, 16)
+        with pytest.raises(TurnPoolError):
+            read_forward_turn(pool.pool, pointer, 16)
+
+    def test_backward_read_overflow_detected(self):
+        with pytest.raises(TurnPoolError):
+            read_backward_turn(0, 62, 16)  # 62 + 4 > 64
+
+    def test_turnpool_equality_and_hash(self):
+        a = build_turn_pool([Hop(16, 0, 5)])
+        b = build_turn_pool([Hop(16, 0, 5)])
+        c = build_turn_pool([Hop(16, 0, 6)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+# -- property: any route is exactly reversible ------------------------------
+
+@st.composite
+def random_path(draw):
+    """A random multi-hop path through switches of varied radix."""
+    nhops = draw(st.integers(1, 8))
+    hops = []
+    for _ in range(nhops):
+        nports = draw(st.sampled_from([2, 3, 4, 8, 16]))
+        in_port = draw(st.integers(0, nports - 1))
+        out_port = draw(
+            st.integers(0, nports - 1).filter(lambda p, i=in_port: p != i)
+        )
+        hops.append(Hop(nports, in_port, out_port))
+    return hops
+
+
+@given(random_path())
+def test_property_forward_then_backward_returns_to_source(hops):
+    total_bits = sum(turn_width(h.nports) for h in hops)
+    if total_bits > 64:
+        return  # longer than the pool; construction would reject it
+    pool = build_turn_pool(hops)
+
+    # Forward traversal.
+    pointer = pool.bits
+    for hop in hops:
+        turn, pointer = read_forward_turn(pool.pool, pointer, hop.nports)
+        assert forward_egress(hop.in_port, turn, hop.nports) == hop.out_port
+    assert pointer == 0
+
+    # Backward traversal visits switches in reverse order, entering at
+    # each hop's forward egress, and must exit at the forward ingress.
+    for hop in reversed(hops):
+        turn, pointer = read_backward_turn(pool.pool, pointer, hop.nports)
+        assert backward_egress(hop.out_port, turn, hop.nports) == hop.in_port
+    assert pointer == pool.bits

@@ -1,0 +1,137 @@
+"""Unit tests for the simulation environment (clock, heap, run loop)."""
+
+import pytest
+
+from repro.sim import (
+    EmptySchedule,
+    Environment,
+    Infinity,
+    SimulationError,
+)
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(initial_time=5.0).now == 5.0
+
+
+def test_run_until_time_advances_clock():
+    env = Environment()
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=3.0)
+    with pytest.raises(ValueError):
+        env.run(until=3.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_without_until_exhausts_queue():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [2.5]
+    assert env.now == 2.5
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == "done"
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(42)
+    env.run()  # processes ev
+    assert env.run(until=ev) == 42
+
+
+def test_run_until_event_never_triggered_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == Infinity
+    env.timeout(4.0)
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+
+
+def test_events_at_same_time_fifo_ordered():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in "abc":
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_clock_is_monotonic_across_many_events():
+    env = Environment()
+    stamps = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        stamps.append(env.now)
+
+    import random
+
+    rng = random.Random(7)
+    delays = [rng.uniform(0, 10) for _ in range(200)]
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert stamps == sorted(stamps)
+    assert len(stamps) == 200
+
+
+def test_nested_process_start_during_run():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(1.0)
+        log.append(("child", env.now))
+
+    def parent(env):
+        yield env.timeout(0.5)
+        env.process(child(env))
+        log.append(("parent", env.now))
+
+    env.process(parent(env))
+    env.run()
+    assert log == [("parent", 0.5), ("child", 1.5)]

@@ -1,0 +1,169 @@
+"""Unit tests for events, timeouts, and conditions."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_value_unavailable_until_triggered(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event()
+        ev.succeed("payload")
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == "payload"
+
+    def test_double_succeed_rejected(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_propagates_to_waiter(self, env):
+        ev = env.event()
+
+        def proc(env, ev):
+            with pytest.raises(RuntimeError, match="boom"):
+                yield ev
+            return "handled"
+
+        p = env.process(proc(env, ev))
+        ev.fail(RuntimeError("boom"))
+        assert env.run(until=p) == "handled"
+
+    def test_unhandled_failure_crashes_run(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("nobody catches me"))
+        with pytest.raises(RuntimeError, match="nobody catches me"):
+            env.run()
+
+    def test_defused_failure_does_not_crash(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("defused"))
+        ev.defused = True
+        env.run()  # no exception
+
+    def test_trigger_copies_state(self, env):
+        a, b = env.event(), env.event()
+        a.succeed(99)
+        env.run()
+        b.trigger(a)
+        assert b.value == 99
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_value_passed_through(self, env):
+        def proc(env):
+            got = yield env.timeout(1.0, value="tick")
+            return got
+
+        assert env.run(until=env.process(proc(env))) == "tick"
+
+    def test_zero_delay_fires_now(self, env):
+        def proc(env):
+            yield env.timeout(0)
+            return env.now
+
+        assert env.run(until=env.process(proc(env))) == 0.0
+
+
+class TestConditions:
+    def test_and_waits_for_both(self, env):
+        def proc(env):
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(2, value="b")
+            result = yield t1 & t2
+            assert env.now == 2
+            return result
+
+        result = env.run(until=env.process(proc(env)))
+        assert list(result.values()) == ["a", "b"]
+
+    def test_or_returns_on_first(self, env):
+        def proc(env):
+            t1 = env.timeout(1, value="fast")
+            t2 = env.timeout(5, value="slow")
+            result = yield t1 | t2
+            assert env.now == 1
+            assert t1 in result
+            assert t2 not in result
+            return result[t1]
+
+        assert env.run(until=env.process(proc(env))) == "fast"
+
+    def test_all_of_empty_triggers_immediately(self, env):
+        cond = env.all_of([])
+        assert cond.triggered
+
+    def test_all_of_many(self, env):
+        def proc(env):
+            events = [env.timeout(i, value=i) for i in range(5)]
+            result = yield env.all_of(events)
+            return sorted(result.values())
+
+        assert env.run(until=env.process(proc(env))) == [0, 1, 2, 3, 4]
+
+    def test_any_of_failure_propagates(self, env):
+        def failer(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def proc(env):
+            p = env.process(failer(env))
+            with pytest.raises(ValueError, match="inner"):
+                yield env.any_of([p, env.timeout(10)])
+            return True
+
+        assert env.run(until=env.process(proc(env))) is True
+
+    def test_condition_value_mapping_interface(self, env):
+        def proc(env):
+            t1 = env.timeout(1, value="x")
+            t2 = env.timeout(1, value="y")
+            result = yield t1 & t2
+            assert result[t1] == "x"
+            assert result[t2] == "y"
+            assert result == {t1: "x", t2: "y"}
+            assert list(result.keys()) == [t1, t2]
+            assert dict(result.items()) == {t1: "x", t2: "y"}
+            with pytest.raises(KeyError):
+                _ = result[env.event()]
+            return len(result.todict())
+
+        assert env.run(until=env.process(proc(env))) == 2
+
+    def test_cross_environment_condition_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            env.all_of([env.timeout(1), other.timeout(1)])
+
+    def test_nested_conditions_flatten_values(self, env):
+        def proc(env):
+            t1 = env.timeout(1, value=1)
+            t2 = env.timeout(2, value=2)
+            t3 = env.timeout(3, value=3)
+            result = yield (t1 & t2) & t3
+            return sorted(result.values())
+
+        assert env.run(until=env.process(proc(env))) == [1, 2, 3]

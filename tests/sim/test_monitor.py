@@ -1,0 +1,88 @@
+"""Unit tests for instrumentation helpers."""
+
+import math
+
+import pytest
+
+from repro.sim import Counter, Monitor, Tally
+
+
+class TestMonitor:
+    def test_record_and_iterate(self):
+        m = Monitor("q")
+        m.record(0.0, 1)
+        m.record(1.0, 2)
+        assert list(m) == [(0.0, 1), (1.0, 2)]
+        assert len(m) == 2
+
+    def test_time_must_not_decrease(self):
+        m = Monitor()
+        m.record(5.0, 0)
+        with pytest.raises(ValueError):
+            m.record(4.0, 0)
+
+    def test_mean(self):
+        m = Monitor()
+        for t, v in enumerate([2, 4, 6]):
+            m.record(float(t), v)
+        assert m.mean() == 4
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            Monitor().mean()
+
+    def test_time_average_piecewise_constant(self):
+        m = Monitor()
+        m.record(0.0, 0)  # 0 for [0, 2)
+        m.record(2.0, 10)  # 10 for [2, 4)
+        assert m.time_average(until=4.0) == pytest.approx(5.0)
+
+    def test_time_average_validations(self):
+        m = Monitor()
+        with pytest.raises(ValueError):
+            m.time_average(1.0)
+        m.record(2.0, 1)
+        with pytest.raises(ValueError):
+            m.time_average(1.0)
+
+
+class TestCounter:
+    def test_incr_and_lookup(self):
+        c = Counter()
+        c.incr("pkts")
+        c.incr("pkts", 2)
+        assert c["pkts"] == 3
+        assert c["missing"] == 0
+
+    def test_asdict_is_copy(self):
+        c = Counter()
+        c.incr("x")
+        d = c.asdict()
+        d["x"] = 99
+        assert c["x"] == 1
+
+
+class TestTally:
+    def test_streaming_stats_match_batch(self):
+        data = [1.0, 2.0, 3.0, 4.0, 100.0]
+        t = Tally()
+        for x in data:
+            t.observe(x)
+        mean = sum(data) / len(data)
+        var = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+        assert t.n == 5
+        assert t.mean == pytest.approx(mean)
+        assert t.variance == pytest.approx(var)
+        assert t.stdev == pytest.approx(math.sqrt(var))
+        assert t.min == 1.0
+        assert t.max == 100.0
+
+    def test_empty_tally_raises_on_mean(self):
+        with pytest.raises(ValueError):
+            _ = Tally().mean
+
+    def test_single_observation_zero_variance(self):
+        t = Tally()
+        t.observe(7.0)
+        assert t.variance == 0.0
+        assert t.stdev == 0.0

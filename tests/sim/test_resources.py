@@ -1,0 +1,256 @@
+"""Unit tests for stores and resources."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    FilterStore,
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer(env, store):
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer(env, store):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env, store):
+            yield env.timeout(4)
+            yield store.put("late")
+
+        c = env.process(consumer(env, store))
+        env.process(producer(env, store))
+        assert env.run(until=c) == (4.0, "late")
+
+    def test_put_blocks_when_full(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")
+            log.append(("put-b", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(3)
+            item = yield store.get()
+            log.append((f"got-{item}", env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert log == [("put-a", 0.0), ("got-a", 3.0), ("put-b", 3.0)]
+
+    def test_len_tracks_items(self, env):
+        store = Store(env)
+
+        def proc(env, store):
+            yield store.put(1)
+            yield store.put(2)
+            assert len(store) == 2
+            yield store.get()
+            assert len(store) == 1
+
+        env.process(proc(env, store))
+        env.run()
+
+
+class TestPriorityStore:
+    def test_lowest_priority_first(self, env):
+        store = PriorityStore(env)
+        got = []
+
+        def proc(env, store):
+            yield store.put(PriorityItem(3, "low"))
+            yield store.put(PriorityItem(1, "high"))
+            yield store.put(PriorityItem(2, "mid"))
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.process(proc(env, store))
+        env.run()
+        assert got == ["high", "mid", "low"]
+
+    def test_equal_priority_is_fifo(self, env):
+        store = PriorityStore(env)
+        got = []
+
+        def proc(env, store):
+            for name in "abc":
+                yield store.put(PriorityItem(5, name))
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.process(proc(env, store))
+        env.run()
+        assert got == ["a", "b", "c"]
+
+
+class TestFilterStore:
+    def test_filter_selects_matching_item(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def proc(env, store):
+            for i in range(5):
+                yield store.put(i)
+            item = yield store.get(lambda x: x % 2 == 1)
+            got.append(item)
+            item = yield store.get(lambda x: x > 3)
+            got.append(item)
+
+        env.process(proc(env, store))
+        env.run()
+        assert got == [1, 4]
+
+    def test_blocked_filter_does_not_block_others(self, env):
+        store = FilterStore(env)
+        got = []
+
+        def blocked(env, store):
+            item = yield store.get(lambda x: x == "never")
+            got.append(item)
+
+        def lucky(env, store):
+            item = yield store.get(lambda x: x == "yes")
+            got.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(1)
+            yield store.put("yes")
+
+        env.process(blocked(env, store))
+        env.process(lucky(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [("yes", 1.0)]
+
+    def test_get_cancel(self, env):
+        store = FilterStore(env)
+
+        def proc(env, store):
+            req = store.get(lambda x: True)
+            req.cancel()
+            yield store.put("item")
+            assert not req.triggered
+            assert store.items == ["item"]
+
+        env.process(proc(env, store))
+        env.run()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_mutual_exclusion(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(env, res, name, hold):
+            with res.request() as req:
+                yield req
+                log.append((name, "in", env.now))
+                yield env.timeout(hold)
+                log.append((name, "out", env.now))
+
+        env.process(user(env, res, "a", 2))
+        env.process(user(env, res, "b", 1))
+        env.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 3.0),
+        ]
+
+    def test_capacity_two_admits_two(self, env):
+        res = Resource(env, capacity=2)
+        admitted = []
+
+        def user(env, res, name):
+            with res.request() as req:
+                yield req
+                admitted.append((name, env.now))
+                yield env.timeout(1)
+
+        for name in "abc":
+            env.process(user(env, res, name))
+        env.run()
+        assert admitted == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_release_is_idempotent(self, env):
+        res = Resource(env)
+
+        def proc(env, res):
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)
+            assert res.count == 0
+
+        env.process(proc(env, res))
+        env.run()
+
+    def test_queued_request_can_be_withdrawn(self, env):
+        res = Resource(env, capacity=1)
+        got_it = []
+
+        def holder(env, res):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def impatient(env, res):
+            req = res.request()
+            yield env.timeout(1)
+            res.release(req)  # give up while still queued
+
+        def patient(env, res):
+            yield env.timeout(0.5)
+            with res.request() as req:
+                yield req
+                got_it.append(env.now)
+
+        env.process(holder(env, res))
+        env.process(impatient(env, res))
+        env.process(patient(env, res))
+        env.run()
+        assert got_it == [5.0]

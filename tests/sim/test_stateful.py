@@ -1,0 +1,79 @@
+"""Stateful (model-based) tests of the kernel's Store semantics."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Store
+
+
+class StoreModel(RuleBasedStateMachine):
+    """Drive a Store against a plain-list reference model.
+
+    Puts and gets execute inside one simulation process so the FIFO
+    contract is exercised without interleaving ambiguity; the model is
+    simply a Python list.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.store = Store(self.env)
+        self.model = []
+        self.counter = 0
+
+    def _run(self, generator):
+        process = self.env.process(generator)
+        self.env.run()
+        return process.value
+
+    @rule()
+    def put(self):
+        self.counter += 1
+        item = self.counter
+
+        def do(env=self.env):
+            yield self.store.put(item)
+
+        self._run(do())
+        self.model.append(item)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def get(self):
+        def do(env=self.env):
+            value = yield self.store.get()
+            return value
+
+        got = self._run(do())
+        expected = self.model.pop(0)
+        assert got == expected, (got, expected)
+
+    @rule(n=st.integers(1, 5))
+    def put_many_then_get_some(self, n):
+        items = []
+        for _ in range(n):
+            self.counter += 1
+            items.append(self.counter)
+
+        def do(env=self.env):
+            for item in items:
+                yield self.store.put(item)
+
+        self._run(do())
+        self.model.extend(items)
+
+    @invariant()
+    def store_matches_model(self):
+        assert list(self.store.items) == self.model
+
+
+TestStoreModel = StoreModel.TestCase
+TestStoreModel.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,84 @@
+"""Tests for the background application-traffic workload."""
+
+import pytest
+
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.manager import PARALLEL
+from repro.topology import make_mesh
+from repro.workloads.traffic import TrafficGenerator
+
+
+class TestTrafficGenerator:
+    def test_validation(self):
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        with pytest.raises(ValueError):
+            TrafficGenerator(setup.fabric, load=0)
+        with pytest.raises(ValueError):
+            TrafficGenerator(setup.fabric, load=1.5)
+        with pytest.raises(ValueError):
+            TrafficGenerator(setup.fabric, packet_bytes=0)
+
+    def test_traffic_flows_end_to_end(self):
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        gen = TrafficGenerator(setup.fabric, load=0.3, seed=1)
+        gen.attach_sinks(setup.entities)
+        gen.start()
+        setup.env.run(until=1e-3)
+        gen.stop()
+        setup.env.run(until=setup.env.now + 1e-4)
+        assert gen.stats["packets_injected"] > 50
+        # Virtually everything injected is delivered (no losses in a
+        # healthy fabric; at most the last few packets are in flight).
+        assert gen.stats["packets_delivered"] >= \
+            gen.stats["packets_injected"] - 10
+
+    def test_load_scales_injection_rate(self):
+        rates = {}
+        for load in (0.2, 0.8):
+            setup = build_simulation(make_mesh(2, 2), auto_start=False)
+            gen = TrafficGenerator(setup.fabric, load=load, seed=2)
+            gen.start()
+            setup.env.run(until=1e-3)
+            gen.stop()
+            rates[load] = gen.stats["packets_injected"]
+        assert rates[0.8] > 2.5 * rates[0.2]
+
+    def test_double_start_rejected(self):
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        gen = TrafficGenerator(setup.fabric, load=0.2)
+        gen.start()
+        with pytest.raises(RuntimeError):
+            gen.start()
+
+    def test_app_packets_do_not_cost_management_time(self):
+        """The entity processes application packets at zero cost."""
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        gen = TrafficGenerator(setup.fabric, load=0.5, seed=3)
+        gen.attach_sinks(setup.entities)
+        gen.start()
+        setup.env.run(until=0.5e-3)
+        delivered = sum(
+            e.stats["app_packets"] for e in setup.entities.values()
+        )
+        assert delivered > 0
+
+
+class TestPaperClaim:
+    def test_traffic_scarcely_influences_discovery_time(self):
+        """Section 4.1's claim: management packets have priority, so
+        application load barely moves the discovery time."""
+        spec = make_mesh(3, 3)
+
+        def measure(load):
+            setup = build_simulation(spec, algorithm=PARALLEL,
+                                     auto_start=False)
+            if load:
+                gen = TrafficGenerator(setup.fabric, load=load, seed=4)
+                gen.attach_sinks(setup.entities)
+                gen.start()
+            setup.fm.start_discovery()
+            return run_until_ready(setup).discovery_time
+
+        idle = measure(None)
+        loaded = measure(0.6)
+        assert loaded < idle * 1.10  # within 10%
