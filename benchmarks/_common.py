@@ -6,7 +6,9 @@ asserts the qualitative shape the paper reports (who wins, by roughly
 what factor, where the crossovers fall).
 
 Set ``REPRO_BENCH_QUICK=1`` to run reduced topology suites (useful on
-slow machines); the full suites match the paper's Table 1.
+slow machines); the full suites match the paper's Table 1.  Set
+``REPRO_BENCH_JOBS=N`` to fan the sweep-shaped benches out over N
+worker processes (results are identical to the serial run).
 """
 
 from __future__ import annotations
@@ -24,6 +26,14 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def quick() -> bool:
     """Whether the reduced suites were requested."""
     return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def bench_jobs() -> int:
+    """Worker processes for sweep-shaped benches (``REPRO_BENCH_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
 
 
 def bench_suite() -> List[TopologySpec]:

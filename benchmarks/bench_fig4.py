@@ -8,7 +8,7 @@ shape: Serial Packet > Serial Device > Parallel, mild growth with
 size, all in the ~10-25 microsecond band.
 """
 
-from _common import bench_suite, quick, save, series_dict
+from _common import bench_jobs, bench_suite, quick, save, series_dict
 
 from repro.experiments.figures import figure4
 from repro.manager import PARALLEL, SERIAL_DEVICE, SERIAL_PACKET
@@ -24,7 +24,7 @@ def _run():
             for n in ("3x3 mesh", "4x4 mesh", "6x6 mesh", "8x8 mesh",
                       "10x10 torus")
         ]
-    return figure4(topologies=topologies)
+    return figure4(topologies=topologies, jobs=bench_jobs())
 
 
 def test_fig4(benchmark):

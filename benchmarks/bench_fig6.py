@@ -16,14 +16,15 @@ Checks the paper's findings:
 
 from collections import defaultdict
 
-from _common import bench_suite, save, seeds
+from _common import bench_jobs, bench_suite, save, seeds
 
 from repro.experiments.figures import figure6
 from repro.manager import PARALLEL, SERIAL_DEVICE, SERIAL_PACKET
 
 
 def _run():
-    return figure6(topologies=bench_suite(), seeds=seeds())
+    return figure6(topologies=bench_suite(), seeds=seeds(),
+                   jobs=bench_jobs())
 
 
 def test_fig6(benchmark):

@@ -13,7 +13,7 @@ devices are too much slow (factors < 1/3) the discovery time is
 affected."
 """
 
-from _common import quick, save, series_dict
+from _common import bench_jobs, quick, save, series_dict
 
 from repro.experiments.figures import figure8
 from repro.manager import PARALLEL, SERIAL_DEVICE, SERIAL_PACKET
@@ -22,7 +22,7 @@ from repro.topology import table1_topology
 
 def _run():
     spec = table1_topology("4x4 mesh" if quick() else "8x8 mesh")
-    return figure8(spec=spec)
+    return figure8(spec=spec, jobs=bench_jobs())
 
 
 def test_fig8(benchmark):

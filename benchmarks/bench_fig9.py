@@ -11,14 +11,15 @@ ones increases, independently of the fabric size."
 
 from collections import defaultdict
 
-from _common import bench_suite, save, seeds
+from _common import bench_jobs, bench_suite, save, seeds
 
 from repro.experiments.figures import figure9
 from repro.manager import PARALLEL, SERIAL_PACKET
 
 
 def _run():
-    return figure9(topologies=bench_suite(), seeds=seeds())
+    return figure9(topologies=bench_suite(), seeds=seeds(),
+                   jobs=bench_jobs())
 
 
 def _mean_ratio(panel):

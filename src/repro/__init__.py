@@ -26,9 +26,17 @@ Quick start::
 
 from .experiments import (
     ExperimentResult,
+    Job,
+    RunFailure,
+    SweepError,
+    SweepReport,
     build_simulation,
+    change_job,
     database_matches_fabric,
+    initial_job,
     run_change_experiment,
+    run_many,
+    run_sweep,
     run_until_discovery_count,
     run_until_ready,
 )
@@ -75,25 +83,33 @@ __all__ = [
     "FabricManager",
     "FaultInjector",
     "FabricParams",
+    "Job",
     "ManagementEntity",
     "PARALLEL",
     "PacketTracer",
     "PartialAssimilationManager",
     "PathDistributor",
     "ProcessingTimeModel",
+    "RunFailure",
     "SERIAL_DEVICE",
     "SERIAL_PACKET",
     "StandbyManager",
+    "SweepError",
+    "SweepReport",
     "TABLE1_NAMES",
     "TopologySpec",
     "TrafficGenerator",
     "build_simulation",
+    "change_job",
     "database_matches_fabric",
+    "initial_job",
     "make_fattree",
     "make_irregular",
     "make_mesh",
     "make_torus",
     "run_change_experiment",
+    "run_many",
+    "run_sweep",
     "run_until_discovery_count",
     "run_until_ready",
     "table1_suite",

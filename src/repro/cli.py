@@ -29,11 +29,11 @@ from .experiments.figures import (
     figure9,
     figure_table1,
 )
+from .experiments.executor import change_job, run_many
 from .experiments.report import render_kv
 from .experiments.runner import (
     build_simulation,
     database_matches_fabric,
-    run_change_experiment,
     run_until_ready,
 )
 from .manager.timing import ALGORITHMS, PARALLEL, ProcessingTimeModel
@@ -67,11 +67,18 @@ def _build_parser() -> argparse.ArgumentParser:
     change.add_argument("--kind", default="remove_switch",
                         choices=("remove_switch", "add_switch"))
     change.add_argument("--seed", type=int, default=0)
+    change.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="run seeds seed..seed+N-1 (default 1)")
+    change.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = in-process)")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=("4", "6", "7", "8", "9"))
     figure.add_argument("--quick", action="store_true",
                         help="use reduced topology suites")
+    figure.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the underlying sweep "
+                             "(1 = in-process; figure 7 is always serial)")
     return parser
 
 
@@ -107,17 +114,20 @@ def _cmd_discover(args) -> int:
 
 
 def _cmd_change(args) -> int:
-    result = run_change_experiment(
-        table1_topology(args.topology),
-        algorithm=args.algorithm,
-        change=args.kind,
-        seed=args.seed,
-    )
-    print(render_kv(
-        f"Change assimilation on {args.topology} [{args.algorithm}]",
-        result.asdict(),
-    ))
-    return 0 if result.database_correct else 1
+    spec = table1_topology(args.topology)
+    jobs = [
+        change_job(spec, args.algorithm, seed=seed, change=args.kind)
+        for seed in range(args.seed, args.seed + max(1, args.seeds))
+    ]
+    report = run_many(jobs, workers=args.jobs, progress=len(jobs) > 1)
+    report.raise_if_failed()
+    for result in report.results:
+        print(render_kv(
+            f"Change assimilation on {args.topology} [{args.algorithm}] "
+            f"(seed {result.seed})",
+            result.asdict(),
+        ))
+    return 0 if all(r.database_correct for r in report.results) else 1
 
 
 def _cmd_figure(args) -> int:
@@ -127,16 +137,18 @@ def _cmd_figure(args) -> int:
             table1_topology(n) for n in ("3x3 mesh", "4x4 mesh")
         ]
     if args.number == "4":
-        _data, text = figure4(topologies=quick_suite)
+        _data, text = figure4(topologies=quick_suite, jobs=args.jobs)
     elif args.number == "6":
-        _data, text = figure6(topologies=quick_suite, seeds=range(1))
+        _data, text = figure6(topologies=quick_suite, seeds=range(1),
+                              jobs=args.jobs)
     elif args.number == "7":
         _data, text = figure7()
     elif args.number == "8":
         spec = table1_topology("4x4 mesh" if args.quick else "8x8 mesh")
-        _data, text = figure8(spec=spec)
+        _data, text = figure8(spec=spec, jobs=args.jobs)
     else:
-        _data, text = figure9(topologies=quick_suite, seeds=range(1))
+        _data, text = figure9(topologies=quick_suite, seeds=range(1),
+                              jobs=args.jobs)
     print(text)
     return 0
 

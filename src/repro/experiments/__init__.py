@@ -1,6 +1,16 @@
 """Experiment harness: runners, sweeps, and per-figure builders."""
 
 from .ascii_plot import render_plot
+from .executor import (
+    Job,
+    RunFailure,
+    SweepError,
+    SweepReport,
+    change_job,
+    initial_job,
+    run_many,
+    run_sweep,
+)
 from .io import load_results, load_spec, save_results, save_spec
 from .report import render_kv, render_series, render_table
 from .runner import (
@@ -24,6 +34,14 @@ from .sweep import (
 
 __all__ = [
     "DEVICE_FACTORS",
+    "Job",
+    "RunFailure",
+    "SweepError",
+    "SweepReport",
+    "change_job",
+    "initial_job",
+    "run_many",
+    "run_sweep",
     "load_results",
     "load_spec",
     "render_kv",

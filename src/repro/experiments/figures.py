@@ -55,7 +55,8 @@ def figure_table1() -> Tuple[List[dict], str]:
 # -- Fig. 4 ------------------------------------------------------------------
 
 def figure4(topologies: Optional[Sequence[TopologySpec]] = None,
-            algorithms: Sequence[str] = ALGORITHMS) -> Tuple[dict, str]:
+            algorithms: Sequence[str] = ALGORITHMS,
+            jobs: int = 1) -> Tuple[dict, str]:
     """Fig. 4: mean PI-4 processing time at the FM vs network size."""
     if topologies is None:
         topologies = [
@@ -63,7 +64,7 @@ def figure4(topologies: Optional[Sequence[TopologySpec]] = None,
             for n in ("3x3 mesh", "4x4 mesh", "6x6 mesh", "8x8 mesh",
                       "10x10 torus")
         ]
-    series = fig4_measurements(topologies, algorithms)
+    series = fig4_measurements(topologies, algorithms, jobs=jobs)
     data = {"series": series}
     display = {
         name: [(x, y * 1e6) for x, y in points]
@@ -81,11 +82,11 @@ def figure4(topologies: Optional[Sequence[TopologySpec]] = None,
 def figure6(results: Optional[List[ExperimentResult]] = None,
             seeds: Iterable[int] = range(2),
             topologies: Optional[Sequence[TopologySpec]] = None,
-            ) -> Tuple[dict, str]:
+            jobs: int = 1) -> Tuple[dict, str]:
     """Fig. 6: discovery time per run (a) and per-topology means (b)."""
     if results is None:
         results = sweep_change_experiments(topologies=topologies,
-                                           seeds=seeds)
+                                           seeds=seeds, jobs=jobs)
     points_a: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
     for result in results:
         points_a[result.algorithm].append(
@@ -176,11 +177,11 @@ def figure7(spec: Optional[TopologySpec] = None,
 def figure8(spec: Optional[TopologySpec] = None,
             fm_factors: Sequence[float] = FM_FACTORS,
             device_factors: Sequence[float] = DEVICE_FACTORS,
-            ) -> Tuple[dict, str]:
+            jobs: int = 1) -> Tuple[dict, str]:
     """Fig. 8: discovery time vs FM factor (a) and device factor (b)."""
     spec = spec or table1_topology("8x8 mesh")
-    series_a = sweep_fm_factor(spec, fm_factors)
-    series_b = sweep_device_factor(spec, device_factors)
+    series_a = sweep_fm_factor(spec, fm_factors, jobs=jobs)
+    series_b = sweep_device_factor(spec, device_factors, jobs=jobs)
     text_a = render_series(
         f"Fig. 8(a). Discovery time vs FM processing factor "
         f"({spec.name}, device factor = 1)",
@@ -206,7 +207,8 @@ FIG9_PANELS = (
 
 
 def figure9(topologies: Optional[Sequence[TopologySpec]] = None,
-            seeds: Iterable[int] = range(2)) -> Tuple[dict, str]:
+            seeds: Iterable[int] = range(2),
+            jobs: int = 1) -> Tuple[dict, str]:
     """Fig. 9: the Fig. 6(a) study at three processing-factor corners."""
     data = {}
     texts = []
@@ -214,7 +216,7 @@ def figure9(topologies: Optional[Sequence[TopologySpec]] = None,
         timing = ProcessingTimeModel(fm_factor=fm_factor,
                                      device_factor=device_factor)
         results = sweep_change_experiments(
-            topologies=topologies, seeds=seeds, timing=timing,
+            topologies=topologies, seeds=seeds, timing=timing, jobs=jobs,
         )
         points: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
         for result in results:

@@ -97,6 +97,9 @@ def run_until_discovery_count(setup: SimulationSetup, n: int,
     deadline = env.timeout(horizon)
     env.run(until=env.any_of([marker, deadline]))
     fm.on_discovery_complete.remove(check)
+    # On success the horizon Timeout is still scheduled; a later bare
+    # env.run() would spin the clock all the way to it.
+    env.cancel(deadline)
     if len(fm.history) < n:
         raise TimeoutError(
             f"discovery #{n} did not finish within {horizon} s of "
@@ -147,6 +150,7 @@ class ExperimentResult:
     def asdict(self) -> dict:
         return {
             "topology": self.topology,
+            "family": self.family,
             "algorithm": self.algorithm,
             "seed": self.seed,
             "change": self.change,

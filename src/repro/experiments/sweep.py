@@ -8,12 +8,8 @@ from ..manager.discovery.base import DiscoveryStats
 from ..manager.timing import ALGORITHMS, ProcessingTimeModel
 from ..topology.spec import TopologySpec
 from ..topology.table1 import table1_suite
-from .runner import (
-    ExperimentResult,
-    build_simulation,
-    run_change_experiment,
-    run_until_ready,
-)
+from .executor import change_job, initial_job, run_sweep
+from .runner import ExperimentResult, build_simulation, run_until_ready
 
 #: Default FM processing factors swept in Fig. 8(a).
 FM_FACTORS = (0.25, 1 / 3, 0.5, 1.0, 2.0, 3.0, 4.0)
@@ -43,26 +39,57 @@ def sweep_change_experiments(
     algorithms: Sequence[str] = ALGORITHMS,
     seeds: Iterable[int] = range(3),
     timing: Optional[ProcessingTimeModel] = None,
+    jobs: int = 1,
+    progress=None,
 ) -> List[ExperimentResult]:
     """The Fig. 6 / Fig. 9 protocol over a topology suite.
 
     Each seed alternates removal and addition changes, mirroring the
     paper's "addition or removal of a randomly chosen fabric switch...
-    repeated several times for each topology".
+    repeated several times for each topology".  ``jobs`` worker
+    processes run the suite in parallel; the returned list is
+    identical, run for run, to the serial (``jobs=1``) order.
     """
     topologies = list(topologies) if topologies else table1_suite()
-    results: List[ExperimentResult] = []
-    for spec in topologies:
-        for algorithm in algorithms:
-            for seed in seeds:
-                change = "remove_switch" if seed % 2 == 0 else "add_switch"
-                results.append(
-                    run_change_experiment(
-                        spec, algorithm=algorithm, change=change,
-                        seed=seed, timing=timing,
-                    )
-                )
-    return results
+    joblist = [
+        change_job(
+            spec, algorithm, seed=seed,
+            change="remove_switch" if seed % 2 == 0 else "add_switch",
+            timing=timing,
+        )
+        for spec in topologies
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    return run_sweep(joblist, workers=jobs, progress=progress)
+
+
+def _factor_sweep(
+    spec: TopologySpec,
+    factors: Sequence[float],
+    algorithms: Sequence[str],
+    base: ProcessingTimeModel,
+    which: str,
+    jobs: int,
+    progress,
+) -> Dict[str, List[Tuple[float, float]]]:
+    joblist = [
+        initial_job(
+            spec, algorithm,
+            timing=base.with_factors(**{which: factor}),
+            tag=(algorithm, factor),
+        )
+        for algorithm in algorithms
+        for factor in factors
+    ]
+    series: Dict[str, List[Tuple[float, float]]] = {
+        algorithm: [] for algorithm in algorithms
+    }
+    for job, stats in zip(joblist, run_sweep(joblist, workers=jobs,
+                                             progress=progress)):
+        algorithm, factor = job.tag
+        series[algorithm].append((factor, stats.discovery_time))
+    return series
 
 
 def sweep_fm_factor(
@@ -70,18 +97,13 @@ def sweep_fm_factor(
     factors: Sequence[float] = FM_FACTORS,
     algorithms: Sequence[str] = ALGORITHMS,
     base_timing: Optional[ProcessingTimeModel] = None,
+    jobs: int = 1,
+    progress=None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Fig. 8(a): discovery time vs FM processing factor."""
     base = base_timing or ProcessingTimeModel()
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    for algorithm in algorithms:
-        points = []
-        for factor in factors:
-            timing = base.with_factors(fm_factor=factor)
-            stats = measure_initial_discovery(spec, algorithm, timing)
-            points.append((factor, stats.discovery_time))
-        series[algorithm] = points
-    return series
+    return _factor_sweep(spec, factors, algorithms, base, "fm_factor",
+                         jobs, progress)
 
 
 def sweep_device_factor(
@@ -89,37 +111,38 @@ def sweep_device_factor(
     factors: Sequence[float] = DEVICE_FACTORS,
     algorithms: Sequence[str] = ALGORITHMS,
     base_timing: Optional[ProcessingTimeModel] = None,
+    jobs: int = 1,
+    progress=None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Fig. 8(b): discovery time vs device processing factor."""
     base = base_timing or ProcessingTimeModel()
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    for algorithm in algorithms:
-        points = []
-        for factor in factors:
-            timing = base.with_factors(device_factor=factor)
-            stats = measure_initial_discovery(spec, algorithm, timing)
-            points.append((factor, stats.discovery_time))
-        series[algorithm] = points
-    return series
+    return _factor_sweep(spec, factors, algorithms, base, "device_factor",
+                         jobs, progress)
 
 
 def fig4_measurements(
     topologies: Optional[Sequence[TopologySpec]] = None,
     algorithms: Sequence[str] = ALGORITHMS,
     timing: Optional[ProcessingTimeModel] = None,
+    jobs: int = 1,
+    progress=None,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Fig. 4: measured mean FM PI-4 processing time vs network size.
 
     The x axis is the switch count, as in the paper.
     """
     topologies = list(topologies) if topologies else table1_suite()
+    joblist = [
+        initial_job(spec, algorithm,
+                    timing=timing, tag=(algorithm, spec.num_switches))
+        for spec in topologies
+        for algorithm in algorithms
+    ]
     series: Dict[str, List[Tuple[int, float]]] = {a: [] for a in algorithms}
-    for spec in topologies:
-        for algorithm in algorithms:
-            stats = measure_initial_discovery(spec, algorithm, timing)
-            series[algorithm].append(
-                (spec.num_switches, stats.mean_fm_time)
-            )
+    for job, stats in zip(joblist, run_sweep(joblist, workers=jobs,
+                                             progress=progress)):
+        algorithm, num_switches = job.tag
+        series[algorithm].append((num_switches, stats.mean_fm_time))
     for points in series.values():
         points.sort()
     return series

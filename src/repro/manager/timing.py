@@ -20,7 +20,7 @@ factor 0.2 = five times slower).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 #: Algorithm keys used throughout the manager package.
 SERIAL_PACKET = "serial_packet"
@@ -94,8 +94,9 @@ class ProcessingTimeModel:
         """Device time to serve one PI-4 request."""
         return self.device_time / self.device_factor
 
-    def with_factors(self, fm_factor: float = None,
-                     device_factor: float = None) -> "ProcessingTimeModel":
+    def with_factors(self, fm_factor: Optional[float] = None,
+                     device_factor: Optional[float] = None,
+                     ) -> "ProcessingTimeModel":
         """Copy of the model with different processing factors."""
         return ProcessingTimeModel(
             fm_base=dict(self.fm_base),
@@ -105,4 +106,25 @@ class ProcessingTimeModel:
             device_factor=(
                 self.device_factor if device_factor is None else device_factor
             ),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON/pickle-ready rendering (for spawn-safe job descriptions)."""
+        return {
+            "fm_base": dict(self.fm_base),
+            "fm_slope": self.fm_slope,
+            "device_time": self.device_time,
+            "fm_factor": self.fm_factor,
+            "device_factor": self.device_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ProcessingTimeModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        return cls(
+            fm_base=dict(document["fm_base"]),
+            fm_slope=document["fm_slope"],
+            device_time=document["device_time"],
+            fm_factor=document["fm_factor"],
+            device_factor=document["device_factor"],
         )

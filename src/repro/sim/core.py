@@ -75,6 +75,20 @@ class Environment:
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
+    def cancel(self, event: Event) -> bool:
+        """Remove a scheduled-but-unprocessed event from the heap.
+
+        The event's callbacks never run.  Returns ``True`` if the event
+        was found (and removed); ``False`` if it was never scheduled or
+        has already been processed.
+        """
+        kept = [entry for entry in self._queue if entry[3] is not event]
+        if len(kept) == len(self._queue):
+            return False
+        self._queue = kept
+        heapq.heapify(self._queue)
+        return True
+
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
         return self._queue[0][0] if self._queue else Infinity

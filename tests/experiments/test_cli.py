@@ -58,6 +58,21 @@ class TestCli:
         assert main(["figure", "4", "--quick"]) == 0
         assert "Fig. 4" in capsys.readouterr().out
 
+    def test_change_multiple_seeds_parallel(self, capsys):
+        code = main(["change", "--topology", "3x3 mesh",
+                     "--seeds", "2", "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(seed 0)" in out
+        assert "(seed 1)" in out
+
+    def test_figure_jobs_matches_serial(self, capsys):
+        assert main(["figure", "4", "--quick", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["figure", "4", "--quick", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert parallel == serial
+
     def test_unknown_topology_rejected(self):
         with pytest.raises(SystemExit):
             main(["discover", "--topology", "17x17 hypermesh"])

@@ -78,6 +78,15 @@ class TestResultsRoundtrip:
         assert loaded[0]["topology"] == "2x2 mesh"
         assert loaded[0]["database_correct"] is True
 
+    def test_family_round_trips(self, tmp_path):
+        results = [run_change_experiment(make_mesh(2, 2), seed=0)]
+        path = save_results(results, tmp_path / "runs.json")
+        loaded = load_results(path)
+        # The Fig. 9 grouping axis must survive archiving, and the
+        # archived run must round-trip unchanged.
+        assert loaded[0]["family"] == "mesh"
+        assert loaded == [r.asdict() for r in results]
+
     def test_json_is_plain_data(self, tmp_path):
         results = [run_change_experiment(make_mesh(2, 2), seed=0)]
         doc = results_to_dict(results)

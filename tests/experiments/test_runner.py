@@ -1,0 +1,36 @@
+"""Tests for the single-experiment runner's bookkeeping."""
+
+from repro.experiments.runner import (
+    MAX_SIM_TIME,
+    build_simulation,
+    run_change_experiment,
+    run_until_discovery_count,
+)
+from repro.sim.events import Timeout
+from repro.topology import make_mesh
+
+
+class TestResultDict:
+    def test_asdict_includes_family(self):
+        result = run_change_experiment(make_mesh(2, 2), seed=0)
+        info = result.asdict()
+        assert info["family"] == "mesh"
+        assert info["topology"] == "2x2 mesh"
+
+
+class TestHorizonTimeout:
+    def test_heap_clean_after_success(self):
+        setup = build_simulation(make_mesh(2, 2))
+        run_until_discovery_count(setup, 1)
+        horizons = [
+            entry for entry in setup.env._queue
+            if isinstance(entry[3], Timeout)
+            and entry[3].delay == MAX_SIM_TIME
+        ]
+        assert horizons == []
+
+    def test_bare_run_does_not_spin_to_horizon(self):
+        setup = build_simulation(make_mesh(2, 2))
+        run_until_discovery_count(setup, 1)
+        setup.env.run()  # drain whatever the simulation still holds
+        assert setup.env.now < MAX_SIM_TIME / 2

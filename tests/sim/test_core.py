@@ -135,3 +135,38 @@ def test_nested_process_start_during_run():
     env.process(parent(env))
     env.run()
     assert log == [("parent", 0.5), ("child", 1.5)]
+
+
+def test_cancel_removes_scheduled_timeout():
+    env = Environment()
+    keep = env.timeout(1.0)
+    stale = env.timeout(100.0)
+    assert env.cancel(stale) is True
+    env.run()
+    assert env.now == 1.0
+    assert keep.processed
+    assert not stale.processed
+
+
+def test_cancel_unscheduled_or_processed_event_is_a_noop():
+    env = Environment()
+    assert env.cancel(env.event()) is False  # never scheduled
+    done = env.timeout(1.0)
+    env.run()
+    assert env.cancel(done) is False  # already processed
+
+
+def test_cancel_preserves_heap_order():
+    env = Environment()
+    stamps = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        stamps.append(env.now)
+
+    for delay in (5.0, 1.0, 3.0):
+        env.process(proc(env, delay))
+    victim = env.timeout(2.0)
+    env.cancel(victim)
+    env.run()
+    assert stamps == [1.0, 3.0, 5.0]
