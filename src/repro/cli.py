@@ -58,6 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           choices=list(ALGORITHMS))
     discover.add_argument("--fm-factor", type=float, default=1.0)
     discover.add_argument("--device-factor", type=float, default=1.0)
+    _add_profile_flag(discover)
 
     change = sub.add_parser("change", help="change-assimilation experiment")
     change.add_argument("--topology", default="4x4 mesh",
@@ -71,6 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run seeds seed..seed+N-1 (default 1)")
     change.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (1 = in-process)")
+    _add_profile_flag(change)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=("4", "6", "7", "8", "9"))
@@ -79,7 +81,36 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the underlying sweep "
                              "(1 = in-process; figure 7 is always serial)")
+    _add_profile_flag(figure)
     return parser
+
+
+def _add_profile_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--profile", type=int, nargs="?", const=20, default=None,
+        metavar="N",
+        help="run under cProfile and dump the top N functions by "
+             "internal time to stderr (default 20)",
+    )
+
+
+def _run_profiled(fn, top: int) -> int:
+    """Run ``fn`` under cProfile; dump the hot functions to stderr."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        code = fn()
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("tottime").print_stats(top)
+        print(stream.getvalue(), file=sys.stderr)
+    return code
 
 
 def _cmd_table1() -> int:
@@ -160,13 +191,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_table1()
     if args.command == "list":
         return _cmd_list()
-    if args.command == "discover":
-        return _cmd_discover(args)
-    if args.command == "change":
-        return _cmd_change(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    commands = {
+        "discover": _cmd_discover,
+        "change": _cmd_change,
+        "figure": _cmd_figure,
+    }
+    command = commands.get(args.command)
+    if command is None:
+        raise AssertionError(f"unhandled command {args.command!r}")
+    if args.profile is not None:
+        return _run_profiled(lambda: command(args), args.profile)
+    return command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

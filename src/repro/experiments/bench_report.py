@@ -1,0 +1,108 @@
+"""Bench-trajectory reports: machine-readable before/after wall times.
+
+Perf work is only real if it is measured against a recorded baseline.
+This module maintains a small JSON trajectory file (``BENCH_kernel.json``
+at the repository root for the kernel bench) with the shape::
+
+    {
+      "benchmark": "kernel",
+      "units": {"fig6_mesh_wall_s": "seconds", ...},
+      "baseline": {"label": ..., "metrics": {...}},
+      "runs": [
+        {"label": ..., "quick": false, "metrics": {...},
+         "speedup_vs_baseline": {"fig6_mesh_wall_s": 1.8, ...}},
+        ...
+      ]
+    }
+
+``baseline`` is captured once (on the unoptimized tree) and kept; every
+subsequent bench invocation appends to ``runs`` with per-metric speedups
+against the baseline, so the trajectory of every future perf PR is
+visible from a single file.
+
+Speedup convention: metrics whose name ends in ``_s`` are wall times
+(speedup = baseline / current); metrics ending in ``_per_s`` are rates
+(speedup = current / baseline).  Either way, bigger is better.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+Metrics = Dict[str, float]
+
+
+def _empty_report(benchmark: str, units: Optional[Dict[str, str]]) -> dict:
+    return {
+        "benchmark": benchmark,
+        "units": units or {},
+        "baseline": None,
+        "runs": [],
+    }
+
+
+def load_report(path: Path, benchmark: str,
+                units: Optional[Dict[str, str]] = None) -> dict:
+    """Load an existing trajectory file (or a fresh skeleton)."""
+    path = Path(path)
+    if path.exists():
+        text = path.read_text().strip()
+        if text:
+            report = json.loads(text)
+            if report.get("benchmark") == benchmark:
+                if units:
+                    report.setdefault("units", {}).update(units)
+                return report
+    return _empty_report(benchmark, units)
+
+
+def speedups(baseline: Metrics, current: Metrics) -> Metrics:
+    """Per-metric speedup factors (bigger is better for every metric)."""
+    out: Metrics = {}
+    for name, now in current.items():
+        base = baseline.get(name)
+        if not base or not now:
+            continue
+        if name.endswith("_per_s"):
+            out[name] = now / base
+        else:
+            out[name] = base / now
+    return out
+
+
+def record_run(path: Path, benchmark: str, label: str, metrics: Metrics,
+               units: Optional[Dict[str, str]] = None,
+               quick: bool = False, as_baseline: bool = False) -> dict:
+    """Append one bench run to the trajectory file and return its entry.
+
+    With ``as_baseline`` the metrics (re)define the baseline instead of
+    appending a run.  Quick-mode runs never overwrite the baseline and
+    get no speedup numbers unless the baseline was also quick (the
+    reduced workloads are not comparable to the full ones).
+    """
+    path = Path(path)
+    report = load_report(path, benchmark, units)
+    entry = {"label": label, "quick": quick, "metrics": metrics}
+    if as_baseline:
+        report["baseline"] = entry
+    else:
+        baseline = report.get("baseline")
+        if baseline and bool(baseline.get("quick")) == quick:
+            entry["speedup_vs_baseline"] = speedups(
+                baseline["metrics"], metrics
+            )
+        report["runs"].append(entry)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return entry
+
+
+def render_entry(entry: dict) -> str:
+    """One bench entry as aligned text (for the bench's stdout)."""
+    lines = [f"{entry['label']}{' [quick]' if entry.get('quick') else ''}"]
+    for name, value in entry["metrics"].items():
+        lines.append(f"  {name:<24s} {value:>14,.6g}")
+    for name, factor in entry.get("speedup_vs_baseline", {}).items():
+        lines.append(f"  speedup[{name}]{'':<7s} {factor:>14.2f}x")
+    return "\n".join(lines)

@@ -43,6 +43,9 @@ class Device:
         self.device_id = 0x0001
         self.capability_version = 0x0100
         self.stats = Counter()
+        #: Port count, cached for the routing hot path (ports are fixed
+        #: at construction).
+        self._nports = nports
         self.ports: List[Port] = [Port(self, i, params) for i in range(nports)]
 
         self.config_space = ConfigSpace()
@@ -57,7 +60,10 @@ class Device:
         self.local_handler: Optional[Callable[[Packet, Optional[Port]], None]] = None
         #: Optional packet tracer (see :mod:`repro.fabric.trace`);
         #: called as ``hook(kind, device, port_index, packet, detail)``.
-        self.trace_hook = None
+        #: Pre-resolved: assigning the property mirrors the hook into
+        #: ``_trace_hook`` here and ``_trace`` on every port, so the
+        #: per-packet paths pay one attribute load, not a chain.
+        self._trace_hook = None
         #: Callback invoked on port state changes:
         #: ``callback(device, port, up)``.  The management entity uses
         #: it to emit PI-5 notifications.
@@ -66,7 +72,19 @@ class Device:
     # -- identity ----------------------------------------------------------
     @property
     def nports(self) -> int:
-        return len(self.ports)
+        return self._nports
+
+    # -- tracing -----------------------------------------------------------
+    @property
+    def trace_hook(self):
+        """The installed packet tracer (None when tracing is off)."""
+        return self._trace_hook
+
+    @trace_hook.setter
+    def trace_hook(self, hook) -> None:
+        self._trace_hook = hook
+        for port in self.ports:
+            port._trace = hook
 
     @property
     def max_payload_code(self) -> int:
@@ -95,8 +113,8 @@ class Device:
         packet.src = packet.src or self.name
         packet.created_at = self.env.now
         self.stats.incr("injected")
-        if self.trace_hook is not None:
-            self.trace_hook("inject", self, port_index, packet)
+        if self._trace_hook is not None:
+            self._trace_hook("inject", self, port_index, packet)
         self.ports[port_index].send(packet)
 
     def consume(self, packet: Packet, port: Optional[Port],
@@ -110,8 +128,8 @@ class Device:
                 self.stats.incr("rx_dropped_inactive")
                 return
             self.stats.incr("consumed")
-            if self.trace_hook is not None:
-                self.trace_hook(
+            if self._trace_hook is not None:
+                self._trace_hook(
                     "deliver", self,
                     port.index if port is not None else None, packet,
                 )
@@ -121,8 +139,7 @@ class Device:
                 self.stats.incr("rx_no_handler")
 
         if tail_lag > 0:
-            timer = self.env.timeout(tail_lag)
-            timer.callbacks.append(deliver)
+            self.env.schedule_callback(tail_lag, deliver)
         else:
             deliver()
 

@@ -50,8 +50,18 @@ class CreditCounter:
                 f"lower max_payload"
             )
         event = Event(self.env)
-        self._waiters.append((units, event))
-        self._grant()
+        if not self._waiters and units <= self.available:
+            # Fast path (the overwhelmingly common case in a healthy
+            # fabric): grant immediately.  The event is returned already
+            # *processed* — nobody can have registered a callback on a
+            # brand-new event, so scheduling it onto the heap would only
+            # burn an event slot to run an empty callback list.
+            self.available -= units
+            event.callbacks = None
+            event._value = units
+        else:
+            self._waiters.append((units, event))
+            self._grant()
         return event
 
     def release(self, units: int) -> None:
@@ -71,6 +81,17 @@ class CreditCounter:
             units, event = self._waiters.popleft()
             self.available -= units
             event.succeed(units)
+
+    def reset(self) -> None:
+        """Resynchronize to full capacity, abandoning queued grants.
+
+        Used on link down/retrain: in-flight packets are lost, so the
+        mirror returns to the receiver's empty-buffer state and waiting
+        grant events are dropped without triggering (their packets were
+        flushed from the VC queues by the same transition).
+        """
+        self.available = self.capacity
+        self._waiters.clear()
 
     @property
     def in_use(self) -> int:

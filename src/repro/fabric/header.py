@@ -83,6 +83,14 @@ class RouteHeader:
     def __post_init__(self):
         self.validate()
 
+    def __setattr__(self, name, value):
+        # Dirty bit for the pack()/CRC memo: any field mutation (the
+        # switches rewrite ``turn_pointer`` at every hop) invalidates
+        # the cached serialization.
+        object.__setattr__(self, name, value)
+        if name != "_packed":
+            object.__setattr__(self, "_packed", None)
+
     def validate(self) -> None:
         """Check every field is within its bit width."""
         checks = [
@@ -126,10 +134,19 @@ class RouteHeader:
         return _STRUCT.pack(dword0, dword1, self.turn_pool)
 
     def pack(self) -> bytes:
-        """Serialize to ``HEADER_BYTES`` bytes, computing the header CRC."""
-        self.validate()
-        raw = self._pack_words(hcrc=0)
-        return self._pack_words(hcrc=crc8(raw))
+        """Serialize to ``HEADER_BYTES`` bytes, computing the header CRC.
+
+        The serialization (including the CRC-8) is memoized and
+        invalidated by the ``__setattr__`` dirty bit whenever a field
+        changes, so repeated packs of an unmodified header are free.
+        """
+        packed = self._packed
+        if packed is None:
+            self.validate()
+            raw = self._pack_words(hcrc=0)
+            packed = self._pack_words(hcrc=crc8(raw))
+            object.__setattr__(self, "_packed", packed)
+        return packed
 
     @classmethod
     def unpack(cls, data: bytes, check_crc: bool = True) -> "RouteHeader":

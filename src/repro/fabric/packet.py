@@ -9,7 +9,6 @@ fabric.
 
 from __future__ import annotations
 
-import math
 import struct
 from dataclasses import dataclass, field
 from itertools import count
@@ -57,21 +56,48 @@ class Packet:
     meta: Dict[str, Any] = field(default_factory=dict)
     #: Hop counter maintained by switches (diagnostics only).
     hops: int = 0
+    #: Memoized wire size / credit footprint.  A packet's payload is
+    #: immutable once in flight, but every port on the path asks for
+    #: these (send, arbitration pick, receive), so the answers are
+    #: cached per parameter set.  The payload length is part of the
+    #: cache key so a rebuilt packet can never serve a stale size.
+    _size_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _credit_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def size_bytes(self, framing_overhead: int = 8, pcrc_bytes: int = 4) -> int:
         """Total wire size: framing + route header + payload + PCRC."""
-        pcrc = pcrc_bytes if self.payload else 0
-        return framing_overhead + HEADER_BYTES + len(self.payload) + pcrc
+        length = len(self.payload)
+        cache = self._size_cache
+        if (
+            cache is not None
+            and cache[0] == framing_overhead
+            and cache[1] == pcrc_bytes
+            and cache[2] == length
+        ):
+            return cache[3]
+        size = framing_overhead + HEADER_BYTES + length + (
+            pcrc_bytes if length else 0
+        )
+        self._size_cache = (framing_overhead, pcrc_bytes, length, size)
+        return size
 
     def credit_units(self, credit_unit: int = 64,
                      framing_overhead: int = 8, pcrc_bytes: int = 4) -> int:
         """Number of flow-control credits the packet occupies."""
-        return max(
-            1,
-            math.ceil(
-                self.size_bytes(framing_overhead, pcrc_bytes) / credit_unit
-            ),
-        )
+        size = self.size_bytes(framing_overhead, pcrc_bytes)
+        cache = self._credit_cache
+        if cache is not None and cache[0] == credit_unit and cache[1] == size:
+            return cache[2]
+        # Integer ceiling division; exact, unlike float math.ceil.
+        units = -(-size // credit_unit)
+        if units < 1:
+            units = 1
+        self._credit_cache = (credit_unit, size, units)
+        return units
 
     def pcrc(self) -> int:
         """End-to-end CRC over the payload."""
@@ -100,11 +126,13 @@ class Packet:
             if len(rest) < 4:
                 raise PacketError("payload present but PCRC truncated")
             payload, (stored,) = rest[:-4], struct.unpack(">I", rest[-4:])
-            if check_crc and crc32(payload) != stored:
-                raise PacketError(
-                    f"PCRC mismatch: stored {stored:#010x}, computed "
-                    f"{crc32(payload):#010x}"
-                )
+            if check_crc:
+                computed = crc32(payload)
+                if computed != stored:
+                    raise PacketError(
+                        f"PCRC mismatch: stored {stored:#010x}, computed "
+                        f"{computed:#010x}"
+                    )
         else:
             payload = b""
         return cls(header=header, payload=payload)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..sim.core import Environment
-from ..sim.events import Event
+from ..sim.events import URGENT
 from ..sim.monitor import Counter
 from .flow_control import CreditCounter
 from .packet import Packet
@@ -53,8 +53,32 @@ class Port:
         self.credits: List[CreditCounter] = []
         #: Units currently held in our own input buffer, per VC.
         self._rx_in_use: List[int] = [0] * params.vc_count
-        self._wakeup: Optional[Event] = None
-        self._tx_proc = None
+        #: Transmit-engine state (see ``_tx_start``): a serialization
+        #: timer is pending / a zero-delay kick is already on the heap.
+        self._tx_busy = False
+        self._tx_kick_scheduled = False
+        #: Mirror of ``device.trace_hook`` (kept in sync by its setter)
+        #: so the per-packet paths pay a single attribute load.  Ports
+        #: are built before the device finishes initializing, hence the
+        #: guarded read.
+        self._trace = getattr(device, "_trace_hook", None)
+        #: Trace detail strings, built once instead of per packet.
+        self._vc_detail = [f"vc={i}" for i in range(params.vc_count)]
+        #: ``FabricParams`` is frozen, so its values are hoisted once
+        #: here instead of re-read (attribute chain + property calls)
+        #: for every packet.
+        self._credit_unit = params.credit_unit
+        self._framing = params.framing_overhead
+        self._pcrc = params.pcrc_bytes
+        self._prop = params.propagation_delay
+        self._byte_time = 8.0 / params.data_rate
+        self._rx_cap = params.rx_buffer_credits
+        self._tc_vc_map = params.tc_vc_map
+        #: Arbitration order with each VC paired to its credit counter
+        #: (built at link attach); highest priority first.
+        self._pick_order = ()
+        self._head_latency = 0.0
+        self._remote: Optional["Port"] = None
 
     # -- identity -------------------------------------------------------
     @property
@@ -85,18 +109,23 @@ class Port:
             CreditCounter(self.env, self.params.rx_buffer_credits)
             for _ in range(self.params.vc_count)
         ]
-        if self._tx_proc is None:
-            self._tx_proc = self.env.process(
-                self._tx_loop(), name=f"tx:{self.name}"
-            )
+        self._pick_order = tuple(
+            (vc, self.credits[vc.index]) for vc in reversed(self._tx_vcs)
+        )
+        self._head_latency = link.head_latency()
+        self._remote = link.other(self)
+        # Prime the transmit engine.  The urgent zero-delay kick
+        # occupies the scheduling slot the old generator-based loop's
+        # Initialize event used, so event ordering is unchanged.
+        self._tx_kick_scheduled = True
+        self.env.schedule_callback(0.0, self._tx_kick, URGENT)
 
     def on_link_state(self, up: bool) -> None:
         """Called by the link on up/down transitions."""
         if not up:
             # Lost packets' credits are resynchronized on retrain.
             for counter in self.credits:
-                counter.available = counter.capacity
-                counter._waiters.clear()
+                counter.reset()
             self._rx_in_use = [0] * self.params.vc_count
             for vc in self._tx_vcs:
                 dropped = len(vc)
@@ -124,20 +153,18 @@ class Port:
             buffer size at training time).
         """
         units = packet.credit_units(
-            self.params.credit_unit,
-            self.params.framing_overhead,
-            self.params.pcrc_bytes,
+            self._credit_unit, self._framing, self._pcrc
         )
-        if units > self.params.rx_buffer_credits:
+        if units > self._rx_cap:
             self._run_releases(packet)
             from .flow_control import CreditError
 
             raise CreditError(
                 f"packet of {units} credit units exceeds the "
-                f"{self.params.rx_buffer_credits}-unit receive buffer; "
+                f"{self._rx_cap}-unit receive buffer; "
                 f"lower max_payload or raise rx_buffer_credits"
             )
-        vc_index = self.params.vc_for_tc(packet.header.tc)
+        vc_index = self._tc_vc_map[packet.header.tc & 0x7]
         if self.link is None or not self.link.up or not self.device.active:
             self.stats.incr("tx_dropped_no_link")
             self._run_releases(packet)
@@ -147,70 +174,89 @@ class Port:
         self._wake()
 
     def _wake(self) -> None:
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
+        # Kick the transmit engine with a zero-delay callback unless a
+        # serialization is in flight (it re-arbitrates when the timer
+        # fires) or a kick is already on the heap.
+        if not self._tx_busy and not self._tx_kick_scheduled:
+            self._tx_kick_scheduled = True
+            self.env.schedule_callback(0.0, self._tx_kick)
 
     def _pick(self):
         """Highest-priority VC whose head packet has credits available."""
-        for vc in reversed(self._tx_vcs):
+        for vc, credit in self._pick_order:
             packet = vc.peek()
             if packet is None:
                 continue
             units = packet.credit_units(
-                self.params.credit_unit,
-                self.params.framing_overhead,
-                self.params.pcrc_bytes,
+                self._credit_unit, self._framing, self._pcrc
             )
-            if self.credits[vc.index].available >= units:
-                return vc, packet, units
+            if credit.available >= units:
+                return vc, packet, units, credit
         return None
 
-    def _tx_loop(self):
-        """Arbitrate, reserve credits, serialize, deliver."""
-        while True:
-            if self.link is None or not self.link.up:
-                yield self._sleep()
-                continue
-            choice = self._pick()
-            if choice is None:
-                yield self._sleep()
-                continue
-            vc, packet, units = choice
-            vc.pop()
-            grant = self.credits[vc.index].consume(units)
-            assert grant.triggered, "pick() guaranteed credits"
-            packet.header.credits_required = min(units, 31)
-            # The packet leaves this device's buffer as its first bit
-            # hits the wire: release the upstream input buffer now.
-            self._run_releases(packet)
+    def _tx_kick(self, _event=None) -> None:
+        self._tx_kick_scheduled = False
+        self._tx_start()
 
-            size = packet.size_bytes(
-                self.params.framing_overhead, self.params.pcrc_bytes
-            )
-            tx_time = self.link.tx_time(size)
-            head = self.link.head_latency()
-            remote = self.link.other(self)
-            epoch = self.link.epoch
-            tail_lag = max(0.0, tx_time - head + self.params.propagation_delay)
+    def _tx_done(self, _event=None) -> None:
+        self._tx_busy = False
+        self._tx_start()
 
-            self.stats.incr("tx_packets")
-            self.stats.incr("tx_bytes", size)
-            hook = self.device.trace_hook
-            if hook is not None:
-                hook("tx", self.device, self.index, packet,
-                     detail=f"vc={vc.index}")
+    def _tx_start(self) -> None:
+        """Arbitrate, reserve credits, serialize, deliver (one packet).
 
-            arrival = self.env.timeout(min(head, tx_time + self.params.propagation_delay))
-            arrival.callbacks.append(
-                lambda ev, r=remote, p=packet, v=vc.index, u=units,
-                e=epoch, t=tail_lag: r._receive(p, v, u, t, e)
-            )
-            # Keep the lane busy for the full serialization time.
-            yield self.env.timeout(tx_time)
+        The transmit engine is a callback-driven state machine rather
+        than a generator process: per packet it costs one delivery
+        callback and one serialization timer, with no process-trampoline
+        resume, no wakeup events, and no Timeout construction.  It is
+        idle until :meth:`_wake` kicks it; while serializing it is
+        *busy* and re-arbitrates from :meth:`_tx_done`.
+        """
+        link = self.link
+        if link is None or not link.up:
+            return
+        choice = self._pick()
+        if choice is None:
+            return
+        vc, packet, units, credit = choice
+        vc.pop()
+        grant = credit.consume(units)
+        assert grant.triggered, "pick() guaranteed credits"
+        header = packet.header
+        required = units if units < 31 else 31
+        if header.credits_required != required:
+            # Skip the store when unchanged: RouteHeader invalidates
+            # its pack() memo on every field assignment.
+            header.credits_required = required
+        # The packet leaves this device's buffer as its first bit
+        # hits the wire: release the upstream input buffer now.
+        self._run_releases(packet)
 
-    def _sleep(self) -> Event:
-        self._wakeup = self.env.event()
-        return self._wakeup
+        size = packet.size_bytes(self._framing, self._pcrc)
+        tx_time = size * self._byte_time
+        head = self._head_latency
+        prop = self._prop
+        epoch = link.epoch
+        tail_lag = tx_time - head + prop
+        if tail_lag < 0.0:
+            tail_lag = 0.0
+
+        stats = self.stats
+        stats.incr("tx_packets")
+        stats.incr("tx_bytes", size)
+        if self._trace is not None:
+            self._trace("tx", self.device, self.index, packet,
+                        detail=self._vc_detail[vc.index])
+
+        schedule_callback = self.env.schedule_callback
+        schedule_callback(
+            min(head, tx_time + prop),
+            lambda ev, r=self._remote, p=packet, v=vc.index, u=units,
+            e=epoch, t=tail_lag, s=size: r._receive(p, v, u, t, e, s),
+        )
+        # Keep the lane busy for the full serialization time.
+        self._tx_busy = True
+        schedule_callback(tx_time, self._tx_done)
 
     @staticmethod
     def _run_releases(packet: Packet) -> None:
@@ -219,8 +265,12 @@ class Port:
 
     # -- receive side ---------------------------------------------------------
     def _receive(self, packet: Packet, vc_index: int, units: int,
-                 tail_lag: float, epoch: int) -> None:
-        """Head of ``packet`` has arrived from the link."""
+                 tail_lag: float, epoch: int, size: int) -> None:
+        """Head of ``packet`` has arrived from the link.
+
+        ``size`` is the wire size already computed by the transmitter,
+        passed through so the receive path does not recompute it.
+        """
         if (
             self.link is None
             or not self.link.up
@@ -228,23 +278,16 @@ class Port:
             or not self.device.active
         ):
             self.stats.incr("rx_dropped")
-            hook = self.device.trace_hook
-            if hook is not None:
-                hook("drop", self.device, self.index, packet,
-                     detail="link down / stale epoch")
+            if self._trace is not None:
+                self._trace("drop", self.device, self.index, packet,
+                            detail="link down / stale epoch")
             return
         self._rx_in_use[vc_index] += units
         self.stats.incr("rx_packets")
-        hook = self.device.trace_hook
-        if hook is not None:
-            hook("rx", self.device, self.index, packet,
-                 detail=f"vc={vc_index}")
-        self.stats.incr(
-            "rx_bytes",
-            packet.size_bytes(
-                self.params.framing_overhead, self.params.pcrc_bytes
-            ),
-        )
+        if self._trace is not None:
+            self._trace("rx", self.device, self.index, packet,
+                        detail=self._vc_detail[vc_index])
+        self.stats.incr("rx_bytes", size)
         packet.meta.setdefault(RX_RELEASE_KEY, []).append(
             lambda: self._release_rx(vc_index, units, epoch)
         )
@@ -255,11 +298,11 @@ class Port:
         if self.link is None or self.link.epoch != epoch:
             return  # buffer already resynchronized by a down transition
         self._rx_in_use[vc_index] = max(0, self._rx_in_use[vc_index] - units)
-        peer = self.link.other(self)
-        update = self.env.timeout(self.params.propagation_delay)
-        update.callbacks.append(
+        peer = self._remote
+        self.env.schedule_callback(
+            self._prop,
             lambda ev, p=peer, v=vc_index, u=units, e=epoch:
-            p._credit_update(v, u, e)
+            p._credit_update(v, u, e),
         )
 
     def _credit_update(self, vc_index: int, units: int, epoch: int) -> None:

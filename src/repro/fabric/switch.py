@@ -52,20 +52,21 @@ class Switch(Device):
             # software flood (used by the election protocol).
             group = packet.header.turn_pool & 0xFFFF
             if group in self.mcast_table:
-                timer = self.env.timeout(self.params.routing_latency)
-                timer.callbacks.append(
-                    lambda ev: self._replicate(packet, port, group)
+                self.env.schedule_callback(
+                    self.params.routing_latency,
+                    lambda ev: self._replicate(packet, port, group),
                 )
             else:
                 self.consume(packet, port, tail_lag)
             return
-        if packet.header.direction == 0 and packet.header.turn_pointer == 0:
+        header = packet.header
+        if header.direction == 0 and header.turn_pointer == 0:
             # Forward route exhausted: the packet is for this switch.
             self.consume(packet, port, tail_lag)
             return
-        timer = self.env.timeout(self.params.routing_latency)
-        timer.callbacks.append(
-            lambda ev: self._route(packet, port)
+        self.env.schedule_callback(
+            self.params.routing_latency,
+            lambda ev: self._route(packet, port),
         )
 
     def _route(self, packet: Packet, in_port: Port) -> None:
@@ -75,23 +76,24 @@ class Switch(Device):
             Port._run_releases(packet)
             return
         header = packet.header
+        nports = self._nports
         try:
             if header.direction == 0:
                 turn, new_pointer = read_forward_turn(
-                    header.turn_pool, header.turn_pointer, self.nports
+                    header.turn_pool, header.turn_pointer, nports
                 )
-                egress = forward_egress(in_port.index, turn, self.nports)
+                egress = forward_egress(in_port.index, turn, nports)
             else:
                 turn, new_pointer = read_backward_turn(
-                    header.turn_pool, header.turn_pointer, self.nports
+                    header.turn_pool, header.turn_pointer, nports
                 )
-                egress = backward_egress(in_port.index, turn, self.nports)
+                egress = backward_egress(in_port.index, turn, nports)
         except TurnPoolError:
             self.stats.incr("route_errors")
             in_port.error_count += 1
-            if self.trace_hook is not None:
-                self.trace_hook("drop", self, in_port.index, packet,
-                                detail="turn pool error")
+            if self._trace_hook is not None:
+                self._trace_hook("drop", self, in_port.index, packet,
+                                 detail="turn pool error")
             Port._run_releases(packet)
             return
 
@@ -99,18 +101,18 @@ class Switch(Device):
         if not out_port.is_up:
             self.stats.incr("forward_drops")
             out_port.error_count += 1
-            if self.trace_hook is not None:
-                self.trace_hook("drop", self, egress, packet,
-                                detail="egress port down")
+            if self._trace_hook is not None:
+                self._trace_hook("drop", self, egress, packet,
+                                 detail="egress port down")
             Port._run_releases(packet)
             return
 
         header.turn_pointer = new_pointer
         packet.hops += 1
         self.stats.incr("forwarded")
-        if self.trace_hook is not None:
-            self.trace_hook("forward", self, egress, packet,
-                            detail=f"in={in_port.index}")
+        if self._trace_hook is not None:
+            self._trace_hook("forward", self, egress, packet,
+                             detail=f"in={in_port.index}")
         out_port.send(packet)
 
     def _replicate(self, packet: Packet, in_port: Port, group: int) -> None:

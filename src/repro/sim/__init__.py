@@ -22,7 +22,15 @@ Quick example::
 
 from .core import Environment, Infinity
 from .errors import EmptySchedule, Interrupt, SimulationError
-from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Deferred,
+    Event,
+    Timeout,
+)
 from .monitor import Counter, Monitor, Tally
 from .process import Process
 from .resources import (
@@ -39,6 +47,7 @@ __all__ = [
     "Condition",
     "ConditionValue",
     "Counter",
+    "Deferred",
     "EmptySchedule",
     "Environment",
     "Event",

@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from itertools import count
-from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
-from .events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
+from .events import AllOf, AnyOf, Deferred, Event, NORMAL, PENDING, Timeout, URGENT
 from .process import Process
 
 Infinity = float("inf")
+
+#: Lazy cancellation leaves tombstones on the heap; once more than this
+#: many accumulate *and* they outnumber live entries, the heap is
+#: rebuilt without them so its size stays bounded under churn.
+COMPACT_THRESHOLD = 64
 
 
 class Environment:
@@ -26,14 +32,19 @@ class Environment:
         Starting value of the simulation clock (seconds).
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "_tombstones")
+
     def __init__(self, initial_time: float = 0.0):
         self._now: float = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Cancelled-but-not-yet-popped entries still on the heap.
+        self._tombstones: int = 0
 
     def __repr__(self):  # pragma: no cover - debugging aid
-        return f"<Environment t={self._now:.9f} pending={len(self._queue)}>"
+        pending = len(self._queue) - self._tombstones
+        return f"<Environment t={self._now:.9f} pending={pending}>"
 
     # -- clock / state ----------------------------------------------------
     @property
@@ -71,27 +82,73 @@ class Environment:
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = NORMAL) -> None:
         """Place a triggered event onto the heap ``delay`` from now."""
-        heapq.heappush(
+        heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
+    def schedule_callback(self, delay: float, fn: Callable[[Event], None],
+                          priority: int = NORMAL) -> Deferred:
+        """Fast path for fire-and-forget timers: run ``fn`` after ``delay``.
+
+        Equivalent to ``self.timeout(delay).callbacks.append(fn)`` but
+        skips full :class:`~repro.sim.events.Timeout` construction — the
+        returned :class:`~repro.sim.events.Deferred` carries exactly the
+        state :meth:`step` needs.  It occupies the same scheduling slot
+        a ``Timeout`` created at this point would (same priority, same
+        sequence number), so event ordering is unchanged.  The handle
+        can be passed to :meth:`cancel`; it cannot be yielded on by a
+        process.
+        """
+        handle = Deferred(fn)
+        heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._eid), handle),
+        )
+        return handle
+
     def cancel(self, event: Event) -> bool:
-        """Remove a scheduled-but-unprocessed event from the heap.
+        """Cancel a scheduled-but-unprocessed event.
 
         The event's callbacks never run.  Returns ``True`` if the event
-        was found (and removed); ``False`` if it was never scheduled or
-        has already been processed.
+        was scheduled (and is now cancelled); ``False`` if it was never
+        scheduled, has already been processed, or was already cancelled.
+
+        Cancellation is lazy: the entry stays on the heap as a
+        tombstone that :meth:`step` discards at pop, making ``cancel``
+        O(1) instead of an O(n) heap rebuild.  Tombstones are compacted
+        away once they outnumber live entries, so heap size stays
+        bounded under repeated schedule/cancel churn.
         """
-        kept = [entry for entry in self._queue if entry[3] is not event]
-        if len(kept) == len(self._queue):
+        if (
+            event._cancelled
+            or event.callbacks is None
+            or event._value is PENDING
+        ):
             return False
-        self._queue = kept
-        heapq.heapify(self._queue)
+        event._cancelled = True
+        self._tombstones += 1
+        if (
+            self._tombstones > COMPACT_THRESHOLD
+            and self._tombstones * 2 > len(self._queue)
+        ):
+            # In place: ``run`` holds a local alias of the heap list.
+            self._queue[:] = [
+                entry for entry in self._queue if not entry[3]._cancelled
+            ]
+            heapq.heapify(self._queue)
+            self._tombstones = 0
         return True
 
     def peek(self) -> float:
-        """Time of the next scheduled event (``inf`` if none)."""
-        return self._queue[0][0] if self._queue else Infinity
+        """Time of the next scheduled live event (``inf`` if none)."""
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if not entry[3]._cancelled:
+                return entry[0]
+            heappop(queue)
+            self._tombstones -= 1
+        return Infinity
 
     def step(self) -> None:
         """Process the next event on the heap.
@@ -99,12 +156,18 @@ class Environment:
         Raises
         ------
         EmptySchedule
-            If no events remain.
+            If no live events remain.
         """
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events") from None
+        queue = self._queue
+        while True:
+            if not queue:
+                raise EmptySchedule("no scheduled events")
+            now, _, _, event = heappop(queue)
+            if not event._cancelled:
+                break
+            # Tombstone: discard without touching the clock.
+            self._tombstones -= 1
+        self._now = now
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -112,8 +175,7 @@ class Environment:
 
         if not event._ok and not event._defused:
             # An unhandled failure crashes the run.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -140,9 +202,31 @@ class Environment:
                 return until._value if until._value is not PENDING else None
             until.callbacks.append(_stop_simulate)
 
+        # The dispatch loop is ``step()`` unrolled with the heap and
+        # heappop bound to locals: one method call plus two global
+        # lookups saved per event is a measurable fraction of kernel
+        # time at millions of events per run.  ``cancel`` compacts the
+        # heap in place, so the local alias stays valid.
+        queue = self._queue
+        pop = heappop
         try:
             while True:
-                self.step()
+                while True:
+                    if not queue:
+                        raise EmptySchedule("no scheduled events")
+                    now, _, _, event = pop(queue)
+                    if not event._cancelled:
+                        break
+                    # Tombstone: discard without touching the clock.
+                    self._tombstones -= 1
+                self._now = now
+
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    raise event._value
         except StopSimulation as exc:
             return exc.value
         except EmptySchedule:

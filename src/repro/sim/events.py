@@ -14,6 +14,7 @@ yielding events and by succeeding/failing them.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 from .errors import SimulationError
@@ -35,7 +36,8 @@ class Event:
         The :class:`~repro.sim.core.Environment` the event belongs to.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "_cancelled")
 
     def __init__(self, env):
         self.env = env
@@ -44,6 +46,8 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        #: Lazy-cancellation tombstone flag (see ``Environment.cancel``).
+        self._cancelled: bool = False
 
     def __repr__(self):  # pragma: no cover - debugging aid
         state = (
@@ -94,7 +98,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined ``env.schedule(self)`` — succeed() is the kernel's
+        # hottest trigger path.
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -110,7 +117,8 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -140,14 +148,48 @@ class Timeout(Event):
     def __init__(self, env, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Hot path: tens of thousands of timers per run.  Assign state
+        # directly and push onto the heap in place (same entry a call
+        # to ``env.schedule`` would produce) instead of chaining
+        # through ``Event.__init__`` + ``Environment.schedule``.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay
+        heappush(
+            env._queue, (env._now + delay, NORMAL, next(env._eid), self)
+        )
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return f"<Timeout delay={self.delay}>"
+
+
+class Deferred:
+    """Minimal heap entry for a fire-and-forget callback.
+
+    Carries exactly the state ``Environment.step`` touches — a
+    callbacks list plus the ok/defused/cancelled flags — and nothing
+    else, so ``Environment.schedule_callback`` can skip the full
+    :class:`Timeout` construction path.  A ``Deferred`` is a cancel
+    handle, not an event: processes cannot yield on it and it has no
+    value accessors.
+    """
+
+    __slots__ = ("callbacks", "_value", "_ok", "_defused", "_cancelled")
+
+    def __init__(self, fn: Callable[["Deferred"], None]):
+        self.callbacks: Optional[List[Callable]] = [fn]
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        state = "processed" if self.callbacks is None else "scheduled"
+        return f"<Deferred {state} at {id(self):#x}>"
 
 
 class Initialize(Event):

@@ -8,7 +8,7 @@ periods, event counts) with :class:`Monitor`, and aggregates them with
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 
 class Monitor:
@@ -57,15 +57,54 @@ class Monitor:
 
 
 class Counter:
-    """A named bundle of monotonically increasing integer counters."""
+    """A named bundle of monotonically increasing integer counters.
 
-    __slots__ = ("_counts",)
+    ``incr`` sits on the per-packet hot path of every port and switch,
+    so it is *pre-resolved* at construction time: the instance carries
+    a closure over its own counts dict (no ``self`` re-resolution per
+    call), and attaching an observer swaps in an observing closure
+    instead of adding an ``if observer is not None`` branch that every
+    unobserved packet would pay for.
+    """
+
+    __slots__ = ("_counts", "_observer", "incr")
 
     def __init__(self):
         self._counts: Dict[str, int] = {}
+        self._observer: Optional[Callable[[str, int], None]] = None
+        self._rebind()
 
-    def incr(self, key: str, amount: int = 1) -> None:
-        self._counts[key] = self._counts.get(key, 0) + amount
+    def _rebind(self) -> None:
+        """(Re)build the ``incr`` fast path for the current observer."""
+        counts = self._counts
+        get = counts.get
+        observer = self._observer
+        if observer is None:
+
+            def incr(key: str, amount: int = 1) -> None:
+                counts[key] = get(key, 0) + amount
+
+        else:
+
+            def incr(key: str, amount: int = 1) -> None:
+                counts[key] = get(key, 0) + amount
+                observer(key, amount)
+
+        self.incr = incr
+
+    def attach_observer(
+        self, observer: Optional[Callable[[str, int], None]]
+    ) -> None:
+        """Call ``observer(key, amount)`` on every increment.
+
+        Pass ``None`` to detach and restore the zero-overhead path.
+        """
+        self._observer = observer
+        self._rebind()
+
+    @property
+    def observer(self) -> Optional[Callable[[str, int], None]]:
+        return self._observer
 
     def __getitem__(self, key: str) -> int:
         return self._counts.get(key, 0)

@@ -1,0 +1,78 @@
+"""Golden-value determinism tests for the optimized kernel/pipeline.
+
+The kernel optimizations (lazy cancellation, the ``schedule_callback``
+fast path, the callback-driven port transmit engine) must not change
+simulation results by a single bit: the same seeds must produce the
+same discovery times, the same event ordering, and the same per-device
+statistics.  The golden values below were captured from the
+pre-optimization tree (PR 1) and pin that contract.
+"""
+
+import hashlib
+import json
+
+from repro.experiments.runner import (
+    build_simulation,
+    run_change_experiment,
+    run_until_ready,
+)
+from repro.topology import make_mesh
+
+#: sha256 over the sorted per-device + per-port stats dump of a 3x3
+#: mesh discovery.  Identical for both discovery algorithms because the
+#: packet exchange is deterministic.
+GOLDEN_STATS_DIGEST = (
+    "3abd0da75341d125d8ab7cc851e55aaf492f2445d0d632fe2ee0955e426aed29"
+)
+
+GOLDEN_DISCOVERY_TIMES = {
+    "parallel": 0.0023844740000000058,
+    "serial_packet": 0.004061408000000176,
+}
+
+
+def _stats_snapshot(fabric) -> dict:
+    snap = {}
+    for name in sorted(fabric.devices):
+        dev = fabric.devices[name]
+        snap[name] = dev.stats.asdict()
+        for port in dev.ports:
+            stats = port.stats.asdict()
+            if stats:
+                snap[f"{name}.p{port.index}"] = stats
+    return snap
+
+
+def _digest(fabric) -> str:
+    payload = json.dumps(_stats_snapshot(fabric), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestGoldenDiscovery:
+    def test_parallel_discovery_bit_identical(self):
+        setup = build_simulation(make_mesh(3, 3), algorithm="parallel")
+        stats = run_until_ready(setup)
+        assert stats.discovery_time == GOLDEN_DISCOVERY_TIMES["parallel"]
+        assert _digest(setup.fabric) == GOLDEN_STATS_DIGEST
+
+    def test_serial_packet_discovery_bit_identical(self):
+        setup = build_simulation(make_mesh(3, 3), algorithm="serial_packet")
+        stats = run_until_ready(setup)
+        assert stats.discovery_time == GOLDEN_DISCOVERY_TIMES["serial_packet"]
+        assert _digest(setup.fabric) == GOLDEN_STATS_DIGEST
+
+
+class TestGoldenChangeExperiment:
+    def test_fixed_seed_change_experiment_bit_identical(self):
+        result = run_change_experiment(make_mesh(3, 3), seed=0)
+        info = result.asdict()
+        assert info["discovery_time"] == 0.0021016489999999993
+        assert (
+            info["initial_discovery_time"]
+            == GOLDEN_DISCOVERY_TIMES["parallel"]
+        )
+        assert info["packets"] == 312
+        assert info["bytes"] == 14752
+        assert info["active_devices"] == 16
+        assert info["changed_device"] == "sw_2_1"
+        assert info["database_correct"] is True

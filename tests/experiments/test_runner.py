@@ -19,15 +19,18 @@ class TestResultDict:
 
 
 class TestHorizonTimeout:
-    def test_heap_clean_after_success(self):
+    def test_horizon_defused_after_success(self):
         setup = build_simulation(make_mesh(2, 2))
         run_until_discovery_count(setup, 1)
+        # Cancellation is lazy: the horizon Timeout may linger on the
+        # heap as a tombstone, but it must be cancelled so it can never
+        # fire or advance the clock.
         horizons = [
-            entry for entry in setup.env._queue
+            entry[3] for entry in setup.env._queue
             if isinstance(entry[3], Timeout)
             and entry[3].delay == MAX_SIM_TIME
         ]
-        assert horizons == []
+        assert all(timeout._cancelled for timeout in horizons)
 
     def test_bare_run_does_not_spin_to_horizon(self):
         setup = build_simulation(make_mesh(2, 2))
