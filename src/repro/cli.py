@@ -11,6 +11,9 @@ Commands
     random hot add/remove, PI-5 detection, rediscovery).
 ``figure``
     Regenerate one of the paper's figures (4, 6, 7, 8, 9) as ASCII.
+``reliability``
+    Sweep discovery over lossy links (bit error rate x algorithm) and
+    report mean discovery time and recovery work per loss point.
 ``list``
     List the available topologies and algorithms.
 """
@@ -30,6 +33,12 @@ from .experiments.figures import (
     figure_table1,
 )
 from .experiments.executor import change_job, run_many
+from .experiments.reliability import (
+    DEFAULT_BIT_ERROR_RATES,
+    render_reliability,
+    summarize_reliability,
+    sweep_reliability,
+)
 from .experiments.report import render_kv
 from .experiments.runner import (
     build_simulation,
@@ -73,6 +82,31 @@ def _build_parser() -> argparse.ArgumentParser:
     change.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (1 = in-process)")
     _add_profile_flag(change)
+
+    reliability = sub.add_parser(
+        "reliability", help="discovery-under-loss sweep",
+    )
+    reliability.add_argument("--topology", default="3x3 mesh",
+                             choices=TABLE1_NAMES, metavar="NAME")
+    reliability.add_argument("--algorithm", action="append", default=None,
+                             choices=list(ALGORITHMS), dest="algorithms",
+                             help="algorithm to sweep (repeatable; "
+                                  "default: all three)")
+    reliability.add_argument("--ber", action="append", type=float,
+                             default=None, dest="bers", metavar="RATE",
+                             help="bit error rate to sweep (repeatable; "
+                                  "default: %s)" % (
+                                      ", ".join(
+                                          f"{r:g}"
+                                          for r in DEFAULT_BIT_ERROR_RATES
+                                      )))
+    reliability.add_argument("--seed", type=int, default=0)
+    reliability.add_argument("--seeds", type=int, default=1, metavar="N",
+                             help="error-model seeds seed..seed+N-1 "
+                                  "(default 1)")
+    reliability.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes (1 = in-process)")
+    _add_profile_flag(reliability)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=("4", "6", "7", "8", "9"))
@@ -161,6 +195,23 @@ def _cmd_change(args) -> int:
     return 0 if all(r.database_correct for r in report.results) else 1
 
 
+def _cmd_reliability(args) -> int:
+    spec = table1_topology(args.topology)
+    algorithms = args.algorithms or list(ALGORITHMS)
+    bers = args.bers if args.bers is not None else DEFAULT_BIT_ERROR_RATES
+    seeds = range(args.seed, args.seed + max(1, args.seeds))
+    results = sweep_reliability(
+        spec, bit_error_rates=bers, algorithms=algorithms, seeds=seeds,
+        workers=args.jobs,
+    )
+    rows = summarize_reliability(results)
+    print(render_reliability(
+        rows, title=f"Discovery under loss on {spec.name} "
+                    f"({len(results)} runs)",
+    ))
+    return 0 if all(r.database_correct for r in results) else 1
+
+
 def _cmd_figure(args) -> int:
     quick_suite = None
     if args.quick:
@@ -195,6 +246,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "discover": _cmd_discover,
         "change": _cmd_change,
         "figure": _cmd_figure,
+        "reliability": _cmd_reliability,
     }
     command = commands.get(args.command)
     if command is None:

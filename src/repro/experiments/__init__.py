@@ -8,10 +8,19 @@ from .executor import (
     SweepReport,
     change_job,
     initial_job,
+    reliability_job,
     run_many,
     run_sweep,
 )
 from .io import load_results, load_spec, save_results, save_spec
+from .reliability import (
+    DEFAULT_BIT_ERROR_RATES,
+    ReliabilityResult,
+    render_reliability,
+    run_reliability_experiment,
+    summarize_reliability,
+    sweep_reliability,
+)
 from .report import render_kv, render_series, render_table
 from .runner import (
     ExperimentResult,
@@ -33,8 +42,15 @@ from .sweep import (
 )
 
 __all__ = [
+    "DEFAULT_BIT_ERROR_RATES",
     "DEVICE_FACTORS",
     "Job",
+    "ReliabilityResult",
+    "reliability_job",
+    "render_reliability",
+    "run_reliability_experiment",
+    "summarize_reliability",
+    "sweep_reliability",
     "RunFailure",
     "SweepError",
     "SweepReport",

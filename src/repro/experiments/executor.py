@@ -28,6 +28,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
+from ..fabric.params import FabricParams
 from ..manager.timing import ProcessingTimeModel
 from ..topology.spec import TopologySpec
 from .io import spec_from_dict, spec_to_dict
@@ -36,6 +37,7 @@ from .runner import run_change_experiment
 #: Job kinds.
 CHANGE = "change"
 INITIAL = "initial"
+RELIABILITY = "reliability"
 
 #: Start methods tried for the worker pool, cheapest first.
 _START_METHODS = ("fork", "spawn", "forkserver")
@@ -64,6 +66,12 @@ class Job:
         ``"remove_switch"`` / ``"add_switch"`` for ``kind="change"``.
     timing:
         Optional :meth:`ProcessingTimeModel.to_dict` document.
+    params:
+        Optional :meth:`FabricParams.to_dict` document (the
+        ``"reliability"`` kind carries its link-error configuration
+        here).
+    max_retries:
+        Optional per-request retry budget override.
     tag:
         Opaque picklable caller bookkeeping, carried through untouched.
     """
@@ -74,6 +82,8 @@ class Job:
     seed: int = 0
     change: Optional[str] = None
     timing: Optional[dict] = None
+    params: Optional[dict] = None
+    max_retries: Optional[int] = None
     tag: Any = None
 
     def describe(self) -> str:
@@ -83,6 +93,10 @@ class Job:
             parts.append(f"seed={self.seed}")
             if self.change:
                 parts.append(self.change)
+        elif self.kind == RELIABILITY:
+            ber = (self.params or {}).get("bit_error_rate", 0.0)
+            parts.append(f"ber={ber:g}")
+            parts.append(f"seed={self.seed}")
         return " ".join(parts)
 
 
@@ -125,6 +139,28 @@ def initial_job(
     """Describe one full-fabric initial discovery (Figs. 4/7/8)."""
     return Job(kind=INITIAL, spec=_spec_document(spec), algorithm=algorithm,
                timing=_timing_document(timing), tag=tag)
+
+
+def reliability_job(
+    spec: Union[TopologySpec, dict],
+    algorithm: str,
+    params: Union[FabricParams, dict],
+    seed: int = 0,
+    timing: Union[ProcessingTimeModel, dict, None] = None,
+    max_retries: Optional[int] = None,
+    tag: Any = None,
+) -> Job:
+    """Describe one lossy-channel discovery run.
+
+    ``params`` carries the link-error configuration (bit error rate,
+    loss/duplicate rates); ``seed`` selects the per-link error streams.
+    """
+    if isinstance(params, FabricParams):
+        params = params.to_dict()
+    return Job(kind=RELIABILITY, spec=_spec_document(spec),
+               algorithm=algorithm, seed=seed,
+               timing=_timing_document(timing), params=dict(params),
+               max_retries=max_retries, tag=tag)
 
 
 # -- outcomes -----------------------------------------------------------------
@@ -205,6 +241,19 @@ def _execute_job(job: Job):
         # Imported late: sweep.py imports this module at load time.
         from .sweep import measure_initial_discovery
         return measure_initial_discovery(spec, job.algorithm, timing)
+    if job.kind == RELIABILITY:
+        # Imported late: reliability.py imports this module lazily too.
+        from .reliability import (
+            RELIABILITY_MAX_RETRIES,
+            run_reliability_experiment,
+        )
+        params = FabricParams.from_dict(job.params or {})
+        retries = (RELIABILITY_MAX_RETRIES if job.max_retries is None
+                   else job.max_retries)
+        return run_reliability_experiment(
+            spec, job.algorithm, params=params, seed=job.seed,
+            timing=timing, max_retries=retries,
+        )
     raise ValueError(f"unknown job kind {job.kind!r}")
 
 

@@ -1,0 +1,226 @@
+"""Reliability sweep: discovery under lossy links.
+
+The paper's evaluation assumes a perfect channel.  With the link error
+model (:class:`repro.fabric.phy.LinkErrorModel`) and the retrying
+transaction engine (:mod:`repro.protocols.transaction`) in place, the
+simulator can answer a question the paper could not ask: **which
+discovery implementation degrades most gracefully when management
+packets are corrupted or lost in flight?**
+
+One run = one full initial discovery (plus event-route programming) of
+a topology at a given bit error rate, measuring the discovery time,
+the recovery work (retries, timeouts, stale completions, duplicate
+requests served), the channel damage (CRC drops, outright losses), and
+whether the final topology database still matches the fabric.  The
+sweep crosses loss rates with the three algorithms and fans out over
+the process-parallel executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..fabric.params import DEFAULT_PARAMS, FabricParams
+from ..manager.timing import ALGORITHMS, ProcessingTimeModel
+from ..topology.spec import TopologySpec
+from .report import render_table
+from .runner import (
+    build_simulation,
+    database_matches_fabric,
+    run_until_ready,
+)
+
+#: Bit error rates swept by default: perfect channel, then two lossy
+#: points roughly at "a retry now and then" and "every few packets".
+DEFAULT_BIT_ERROR_RATES: Tuple[float, ...] = (0.0, 1e-5, 5e-5, 1e-4)
+
+#: Retries per request used for reliability runs.  Deliberately higher
+#: than the FM default (3): at the highest swept loss rates a 4-hop
+#: round trip fails a few times in ten, and the experiment studies
+#: degradation, not abandonment.
+RELIABILITY_MAX_RETRIES = 8
+
+
+@dataclass
+class ReliabilityResult:
+    """Outcome of one lossy-channel discovery run."""
+
+    topology: str
+    family: str
+    algorithm: str
+    seed: int
+    bit_error_rate: float
+    packet_loss_rate: float
+    duplicate_rate: float
+    discovery_time: float
+    devices_found: int
+    requests_sent: int
+    retries: int
+    timeouts: int
+    stale_completions: int
+    #: Responder-side duplicate-suppression hits (cached completions
+    #: resent without re-executing the config-space access).
+    duplicate_requests: int
+    #: Packets dropped at receiving ports because corruption made the
+    #: header-CRC/PCRC check fail.
+    crc_drops: int
+    #: Packets lost outright on a link (framing never detected).
+    lost_packets: int
+    #: Link-layer replays injected by the duplicate error mode.
+    replayed_packets: int
+    database_correct: bool
+
+    def asdict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "family": self.family,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "bit_error_rate": self.bit_error_rate,
+            "packet_loss_rate": self.packet_loss_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "discovery_time": self.discovery_time,
+            "devices_found": self.devices_found,
+            "requests_sent": self.requests_sent,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "stale_completions": self.stale_completions,
+            "duplicate_requests": self.duplicate_requests,
+            "crc_drops": self.crc_drops,
+            "lost_packets": self.lost_packets,
+            "replayed_packets": self.replayed_packets,
+            "database_correct": self.database_correct,
+        }
+
+
+def run_reliability_experiment(
+    spec: TopologySpec,
+    algorithm: str,
+    params: FabricParams = DEFAULT_PARAMS,
+    seed: int = 0,
+    timing: Optional[ProcessingTimeModel] = None,
+    max_retries: int = RELIABILITY_MAX_RETRIES,
+) -> ReliabilityResult:
+    """One full discovery of ``spec`` under ``params``'s error model.
+
+    ``seed`` feeds the per-link RNG streams (``error_seed``), so two
+    runs with the same arguments are bit-for-bit identical regardless
+    of which sweep worker executes them.
+    """
+    params = replace(params, error_seed=seed)
+    setup = build_simulation(
+        spec, algorithm=algorithm, timing=timing, params=params,
+        max_retries=max_retries,
+    )
+    stats = run_until_ready(setup)
+    crc_drops = lost = replays = duplicates = 0
+    for device in setup.fabric.devices.values():
+        for port in device.ports:
+            crc_drops += port.stats["rx_crc_dropped"]
+            lost += port.stats["rx_lost"]
+            replays += port.stats["tx_replays"]
+    for entity in setup.entities.values():
+        duplicates += entity.stats["duplicate_requests"]
+    return ReliabilityResult(
+        topology=spec.name,
+        family=spec.family,
+        algorithm=algorithm,
+        seed=seed,
+        bit_error_rate=params.bit_error_rate,
+        packet_loss_rate=params.packet_loss_rate,
+        duplicate_rate=params.duplicate_rate,
+        discovery_time=stats.discovery_time,
+        devices_found=stats.devices_found,
+        requests_sent=stats.requests_sent,
+        retries=stats.retries,
+        timeouts=stats.timeouts,
+        stale_completions=stats.stale_completions,
+        duplicate_requests=duplicates,
+        crc_drops=crc_drops,
+        lost_packets=lost,
+        replayed_packets=replays,
+        database_correct=database_matches_fabric(setup),
+    )
+
+
+def sweep_reliability(
+    spec: TopologySpec,
+    bit_error_rates: Sequence[float] = DEFAULT_BIT_ERROR_RATES,
+    algorithms: Sequence[str] = ALGORITHMS,
+    seeds: Iterable[int] = (0,),
+    base_params: FabricParams = DEFAULT_PARAMS,
+    timing: Optional[ProcessingTimeModel] = None,
+    max_retries: int = RELIABILITY_MAX_RETRIES,
+    workers: int = 1,
+    progress: Union[bool, None] = None,
+) -> List[ReliabilityResult]:
+    """Cross loss rates x algorithms x seeds through the executor.
+
+    Results come back in job-submission order (rate-major, then
+    algorithm, then seed) — identical to a serial sweep.
+    """
+    # Imported late: executor.py imports this module at load time.
+    from .executor import reliability_job, run_many
+
+    jobs = [
+        reliability_job(
+            spec, algorithm,
+            params=replace(base_params, bit_error_rate=rate),
+            seed=seed, timing=timing, max_retries=max_retries,
+        )
+        for rate in bit_error_rates
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    report = run_many(jobs, workers=workers, progress=progress)
+    report.raise_if_failed()
+    return list(report.results)
+
+
+def summarize_reliability(
+    results: Sequence[ReliabilityResult],
+) -> List[dict]:
+    """Mean discovery time / recovery work per (algorithm, loss rate).
+
+    Rows are ordered by algorithm, then loss rate ascending, so a
+    glance down the column shows how each implementation degrades.
+    """
+    groups: Dict[Tuple[str, float], List[ReliabilityResult]] = {}
+    for result in results:
+        groups.setdefault(
+            (result.algorithm, result.bit_error_rate), []
+        ).append(result)
+    rows = []
+    for (algorithm, rate) in sorted(groups):
+        bucket = groups[(algorithm, rate)]
+        n = len(bucket)
+        rows.append({
+            "algorithm": algorithm,
+            "bit_error_rate": rate,
+            "runs": n,
+            "mean_discovery_time": sum(
+                r.discovery_time for r in bucket
+            ) / n,
+            "mean_retries": sum(r.retries for r in bucket) / n,
+            "mean_timeouts": sum(r.timeouts for r in bucket) / n,
+            "mean_crc_drops": sum(r.crc_drops for r in bucket) / n,
+            "all_correct": all(r.database_correct for r in bucket),
+        })
+    return rows
+
+
+def render_reliability(rows: Sequence[dict], title: str = "") -> str:
+    """ASCII table of :func:`summarize_reliability` rows."""
+    headers = ("algorithm", "BER", "runs", "mean t_disc", "retries",
+               "timeouts", "CRC drops", "correct")
+    table = render_table(headers, [
+        (
+            row["algorithm"], row["bit_error_rate"], row["runs"],
+            row["mean_discovery_time"], row["mean_retries"],
+            row["mean_timeouts"], row["mean_crc_drops"],
+            row["all_correct"],
+        )
+        for row in rows
+    ])
+    return f"{title}\n{table}" if title else table

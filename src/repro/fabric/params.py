@@ -8,7 +8,7 @@ multiplexed virtual cut-through switches, and 1-port endpoints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import List, Tuple
 
 
@@ -53,6 +53,25 @@ class FabricParams:
     switch_ports: int = 16
     #: Ports on a fabric endpoint (the paper's model uses 1; spec max 4).
     endpoint_ports: int = 1
+    #: Per-bit probability that a bit of a packet is corrupted on the
+    #: wire (BER).  Corrupted packets fail the header-CRC/PCRC check at
+    #: the receiving port and are dropped (the discovery protocol's
+    #: transaction engine retries them).  0 = the paper's perfect
+    #: channel; the lossy path is completely skipped in that case.
+    bit_error_rate: float = 0.0
+    #: Per-packet probability that the packet vanishes entirely (framing
+    #: never detected; no CRC check even runs).
+    packet_loss_rate: float = 0.0
+    #: Per-packet probability that the link layer delivers a second copy
+    #: (replay), exercising duplicate suppression at the responder.
+    duplicate_rate: float = 0.0
+    #: Mean number of bit errors per corruption event (geometric burst;
+    #: 1.0 = independent single-bit errors).
+    error_burst_length: float = 1.0
+    #: Seed for the per-link error-model RNG streams.  Every link
+    #: derives its own deterministic stream from this seed and its
+    #: name, so runs are reproducible regardless of worker scheduling.
+    error_seed: int = 0
 
     def __post_init__(self):
         if not self.tc_vc_map or len(self.tc_vc_map) != 8:
@@ -71,6 +90,40 @@ class FabricParams:
             bad = [t for t in self.vc_types if t not in ("bvc", "ovc", "mvc")]
             if bad:
                 raise ValueError(f"unknown VC types: {bad}")
+        for name in ("bit_error_rate", "packet_loss_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name}={rate} outside [0, 1)")
+        if self.error_burst_length < 1.0:
+            raise ValueError("error_burst_length must be at least 1")
+
+    @property
+    def lossy(self) -> bool:
+        """Whether any link-error mode is enabled (the unreliable path
+        is bypassed entirely when this is False)."""
+        return (
+            self.bit_error_rate > 0.0
+            or self.packet_loss_rate > 0.0
+            or self.duplicate_rate > 0.0
+        )
+
+    def to_dict(self) -> dict:
+        """JSON/pickle-ready rendering (for spawn-safe job descriptions)."""
+        return {
+            field_name: list(value) if isinstance(value, tuple) else value
+            for field_name, value in (
+                (f.name, getattr(self, f.name)) for f in fields(self)
+            )
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FabricParams":
+        """Rebuild parameters from :meth:`to_dict` output."""
+        kwargs = dict(document)
+        for name in ("vc_types", "tc_vc_map"):
+            if name in kwargs:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
 
     @property
     def data_rate(self) -> float:

@@ -20,8 +20,10 @@ from ..sim.core import Environment
 from ..sim.events import URGENT
 from ..sim.monitor import Counter
 from .flow_control import CreditCounter
-from .packet import Packet
+from .header import HeaderError
+from .packet import Packet, PacketError
 from .params import FabricParams
+from .phy import DELIVER_CORRUPT, DELIVER_OK
 from .vc import VCType, VirtualChannel, default_vc_types
 
 #: Key under which a packet carries its pending input-buffer release
@@ -79,6 +81,11 @@ class Port:
         self._pick_order = ()
         self._head_latency = 0.0
         self._remote: Optional["Port"] = None
+        #: Mirror of the link's channel error model (hoisted at attach;
+        #: None on the default perfect channel, which keeps the
+        #: per-packet paths free of error-model branches beyond one
+        #: ``is None`` test).
+        self._error_model = None
 
     # -- identity -------------------------------------------------------
     @property
@@ -114,6 +121,7 @@ class Port:
         )
         self._head_latency = link.head_latency()
         self._remote = link.other(self)
+        self._error_model = link.error_model
         # Prime the transmit engine.  The urgent zero-delay kick
         # occupies the scheduling slot the old generator-based loop's
         # Initialize event used, so event ordering is unchanged.
@@ -254,9 +262,52 @@ class Port:
             lambda ev, r=self._remote, p=packet, v=vc.index, u=units,
             e=epoch, t=tail_lag, s=size: r._receive(p, v, u, t, e, s),
         )
+        busy_time = tx_time
+        error_model = self._error_model
+        if (
+            error_model is not None
+            and error_model.duplicate_rate > 0.0
+            and error_model.duplicate()
+            and credit.available >= units
+        ):
+            # Link-layer replay: the lane serializes a second copy
+            # back-to-back.  The replay consumes its own credits (it
+            # really occupies the remote buffer) and is skipped when
+            # none are free.
+            credit.consume(units)
+            replay = self._clone_for_replay(packet)
+            stats.incr("tx_replays")
+            if self._trace is not None:
+                self._trace("tx", self.device, self.index, replay,
+                            detail="link replay")
+            schedule_callback(
+                tx_time + min(head, tx_time + prop),
+                lambda ev, r=self._remote, p=replay, v=vc.index, u=units,
+                e=epoch, t=tail_lag, s=size: r._receive(p, v, u, t, e, s),
+            )
+            busy_time += tx_time
         # Keep the lane busy for the full serialization time.
         self._tx_busy = True
-        schedule_callback(tx_time, self._tx_done)
+        schedule_callback(busy_time, self._tx_done)
+
+    @staticmethod
+    def _clone_for_replay(packet: Packet) -> Packet:
+        """A wire-identical copy for link-layer duplication.
+
+        The header is copied (switches rewrite the turn pointer in
+        place, so the two in-flight copies must not share one) and the
+        clone starts with fresh bookkeeping: no buffer-release
+        callbacks, its own hop counter.
+        """
+        replay = Packet(
+            header=packet.header.copy(),
+            payload=packet.payload,
+            src=packet.src,
+            created_at=packet.created_at,
+            hops=packet.hops,
+        )
+        replay.meta["replay_of"] = packet.pkt_id
+        return replay
 
     @staticmethod
     def _run_releases(packet: Packet) -> None:
@@ -282,6 +333,9 @@ class Port:
                 self._trace("drop", self.device, self.index, packet,
                             detail="link down / stale epoch")
             return
+        if self._error_model is not None and not self._apply_channel_errors(
+                packet, vc_index, units, epoch, size):
+            return
         self._rx_in_use[vc_index] += units
         self.stats.incr("rx_packets")
         if self._trace is not None:
@@ -292,6 +346,45 @@ class Port:
             lambda: self._release_rx(vc_index, units, epoch)
         )
         self.device.handle_rx(packet, self, vc_index, tail_lag)
+
+    def _apply_channel_errors(self, packet: Packet, vc_index: int,
+                              units: int, epoch: int, size: int) -> bool:
+        """Subject an arriving packet to the link's error process.
+
+        Returns True if the packet survives.  On loss or CRC failure
+        the packet is dropped here (with a ``drop`` trace event and a
+        counter) and the consumed credits are returned to the sender —
+        the receive buffer was reserved at transmit time, so a silent
+        drop would leak flow-control credits.
+        """
+        error_model = self._error_model
+        verdict = error_model.classify(size)
+        if verdict == DELIVER_OK:
+            return True
+        if verdict == DELIVER_CORRUPT:
+            # Realize the corruption: flip wire bits and run the real
+            # header-CRC/PCRC decode machinery against the result.
+            corrupted, flips = error_model.corrupt_bytes(packet.to_bytes())
+            try:
+                Packet.from_bytes(corrupted)
+            except (HeaderError, PacketError):
+                self.stats.incr("rx_crc_dropped")
+                detail = f"CRC check failed ({flips} flipped bit(s))"
+            else:  # pragma: no cover - needs a CRC-32 collision
+                self.stats.incr("rx_undetected_errors")
+                return True
+        else:
+            self.stats.incr("rx_lost")
+            detail = "packet lost on link"
+        if self._trace is not None:
+            self._trace("drop", self.device, self.index, packet,
+                        detail=detail)
+        self.env.schedule_callback(
+            self._prop,
+            lambda ev, p=self._remote, v=vc_index, u=units, e=epoch:
+            p._credit_update(v, u, e),
+        )
+        return False
 
     def _release_rx(self, vc_index: int, units: int, epoch: int) -> None:
         """Free input-buffer space and return credits to the sender."""

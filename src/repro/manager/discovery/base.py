@@ -59,6 +59,9 @@ class DiscoveryStats:
     duplicates_detected: int = 0
     timeouts: int = 0
     retries: int = 0
+    #: Completions that matched no outstanding transaction — answers to
+    #: requests already retried to completion, or link-layer replays.
+    stale_completions: int = 0
     abandoned_targets: int = 0
     devices_found: int = 0
     #: ``(packet_number, fm_time)`` per completion processed at the FM —
@@ -93,6 +96,8 @@ class DiscoveryStats:
             "duplicates_detected": self.duplicates_detected,
             "timeouts": self.timeouts,
             "retries": self.retries,
+            "stale_completions": self.stale_completions,
+            "abandoned_targets": self.abandoned_targets,
         }
 
 

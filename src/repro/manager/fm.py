@@ -19,8 +19,6 @@ This class implements the management behaviour the paper studies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from itertools import count
 from typing import Any, Callable, Dict, List, Optional
 
 from ..capability import EVENT_ROUTE_CAP_ID, EventRouteCapability
@@ -28,31 +26,17 @@ from ..fabric.endpoint import Endpoint
 from ..fabric.packet import PI_DEVICE_MANAGEMENT, PI_EVENT, Packet
 from ..protocols import pi4, pi5
 from ..protocols.entity import ManagementEntity
+from ..protocols.transaction import (
+    TimeoutPolicy,
+    Transaction,
+    TransactionEngine,
+)
 from ..routing.turnpool import TurnPool
 from ..sim.monitor import Counter
 from .database import TopologyDatabase
 from .discovery import make_algorithm
 from .discovery.base import DiscoveryAlgorithm, DiscoveryStats
 from .timing import PARALLEL, ProcessingTimeModel
-
-
-@dataclass
-class _Pending:
-    """One outstanding request awaiting its completion."""
-
-    tag: int
-    message: Any
-    pool: TurnPool
-    out_port: Optional[int]
-    callback: Callable
-    ctx: Any
-    retries_left: int
-    stats: Optional[DiscoveryStats]
-    timeout: float = 1e-3
-    #: Set when the completion reaches the FM endpoint (it may still
-    #: wait in the FM's serial processing queue).  Timeouts measure the
-    #: fabric round trip, not the FM's own backlog.
-    arrived: bool = False
 
 
 class FabricManager:
@@ -74,8 +58,6 @@ class FabricManager:
         self.env = endpoint.env
         self.timing = timing or ProcessingTimeModel()
         self.algorithm_key = algorithm
-        self.request_timeout = request_timeout
-        self.max_retries = max_retries
         self.program_event_routes = program_event_routes
         #: Whether a completion reaching the FM endpoint clears its
         #: request timer even while it waits in the FM's serial
@@ -106,8 +88,28 @@ class FabricManager:
         self.processing_time_total = 0.0
         self.processing_packets = 0
 
-        self._pending: Dict[int, _Pending] = {}
-        self._tags = count(1)
+        #: The retrying transaction layer.  Tags are salted with the
+        #: endpoint's serial number so concurrent FMs (failover,
+        #: election) never collide in the responders' duplicate caches.
+        self.engine = TransactionEngine(
+            self.env, entity, self.counters,
+            max_retries=max_retries,
+            default_timeout=request_timeout,
+            policy=TimeoutPolicy(
+                endpoint.params, self.timing, algorithm,
+                floor=request_timeout,
+            ),
+            tag_salt=endpoint.dsn & 0x7FFF,
+            on_transmit=self._on_request_transmitted,
+            known_devices=self.database.__len__,
+        )
+        #: Alias of the engine's outstanding map (legacy name; the
+        #: partial-assimilation subclass clears it directly).
+        self._pending = self.engine.pending
+        #: Highest PI-5 sequence number processed per reporter: lossy
+        #: fabrics blindly repeat event notifications, and the repeats
+        #: must not be double-assimilated.
+        self._event_seqs: Dict[int, int] = {}
         #: PI-5 events that arrived while a discovery was running.
         #: They are re-checked against the fresh database when the run
         #: finishes; any not yet reflected trigger one more discovery
@@ -136,6 +138,24 @@ class FabricManager:
         return self.processing_time_total / self.processing_packets
 
     # -- request layer ------------------------------------------------------
+    @property
+    def request_timeout(self) -> float:
+        """Base (and floor) request timeout of the transaction layer."""
+        return self.engine.default_timeout
+
+    @request_timeout.setter
+    def request_timeout(self, value: float) -> None:
+        self.engine.default_timeout = value
+        self.engine.policy.floor = value
+
+    @property
+    def max_retries(self) -> int:
+        return self.engine.max_retries
+
+    @max_retries.setter
+    def max_retries(self, value: int) -> None:
+        self.engine.max_retries = value
+
     def send_request(self, message, pool: TurnPool,
                      out_port: Optional[int], callback: Callable,
                      ctx: Any = None, retries: Optional[int] = None,
@@ -147,41 +167,19 @@ class FabricManager:
         processing time.  ``retries``/``timeout`` override the FM-wide
         defaults (used for cheap liveness probes).
         """
-        tag = next(self._tags)
-        message = self._retag(message, tag)
-        stats = self._active_stats()
-        entry = _Pending(
-            tag=tag, message=message, pool=pool, out_port=out_port,
-            callback=callback, ctx=ctx,
-            retries_left=self.max_retries if retries is None else retries,
-            stats=stats,
-            timeout=self.request_timeout if timeout is None else timeout,
+        return self.engine.open(
+            message, pool, out_port, callback, ctx=ctx,
+            retries=retries, timeout=timeout, stats=self._active_stats(),
         )
-        self._pending[tag] = entry
-        self._transmit(entry)
-        return tag
 
-    @staticmethod
-    def _retag(message, tag: int):
-        from dataclasses import replace
-
-        return replace(message, tag=tag)
-
-    def _transmit(self, entry: _Pending) -> None:
-        packet = self.entity.send_pi4(
-            entry.message, entry.pool.pool, entry.pool.bits, entry.out_port
-        )
-        self.counters.incr("requests_sent")
+    def _on_request_transmitted(self, entry: Transaction, packet) -> None:
+        """Engine hook: per-transmission byte accounting."""
         if entry.stats is not None:
             entry.stats.requests_sent += 1
             entry.stats.bytes_sent += packet.size_bytes(
                 self.endpoint.params.framing_overhead,
                 self.endpoint.params.pcrc_bytes,
             )
-        timer = self.env.timeout(entry.timeout)
-        timer.callbacks.append(
-            lambda ev, tag=entry.tag: self._on_timeout(tag)
-        )
 
     def note_packet_arrival(self, packet: Packet) -> None:
         """Called by the entity when a management packet is enqueued at
@@ -194,28 +192,7 @@ class FabricManager:
             message = pi4.decode(packet.payload)
         except pi4.Pi4Error:
             return
-        entry = self._pending.get(message.tag)
-        if entry is not None:
-            entry.arrived = True
-
-    def _on_timeout(self, tag: int) -> None:
-        entry = self._pending.get(tag)
-        if entry is None:
-            return  # completed (or superseded) in the meantime
-        if entry.arrived:
-            return  # response is queued at the FM; not a fabric loss
-        if entry.retries_left > 0:
-            entry.retries_left -= 1
-            self.counters.incr("retries")
-            if entry.stats is not None:
-                entry.stats.retries += 1
-            self._transmit(entry)
-            return
-        del self._pending[tag]
-        self.counters.incr("timeouts")
-        if entry.stats is not None:
-            entry.stats.timeouts += 1
-        entry.callback(None, entry.ctx)
+        self.engine.note_arrival(message.tag)
 
     def _active_stats(self) -> Optional[DiscoveryStats]:
         if self.discovery is not None and not self.discovery.done:
@@ -233,6 +210,11 @@ class FabricManager:
                 self.counters.incr("pi5_decode_errors")
                 return
             self.counters.incr("pi5_received")
+            if event.seq <= self._event_seqs.get(event.reporter_dsn, 0):
+                # A blind retransmission of an event already processed.
+                self.counters.incr("pi5_duplicates")
+                return
+            self._event_seqs[event.reporter_dsn] = event.seq
             self._handle_event(event)
             return
         if packet.header.pi != PI_DEVICE_MANAGEMENT:
@@ -240,15 +222,20 @@ class FabricManager:
             return
         message = packet.meta.get("pi4_msg")
         if message is None:
-            message = pi4.decode(packet.payload)
+            try:
+                message = pi4.decode(packet.payload)
+            except pi4.Pi4Error:
+                self.counters.incr("pi4_decode_errors")
+                return
         if not pi4.is_completion(message):
             self.counters.incr("unexpected_requests")
             return
-        entry = self._pending.pop(message.tag, None)
+        entry = self.engine.complete(message)
         if entry is None:
-            self.counters.incr("stale_completions")
+            stats = self._active_stats()
+            if stats is not None:
+                stats.stale_completions += 1
             return
-        self.counters.incr("completions_received")
         stats = entry.stats
         if stats is not None:
             stats.completions_received += 1

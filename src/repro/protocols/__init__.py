@@ -1,11 +1,19 @@
-"""Fabric-management protocols: PI-4 (configuration) and PI-5 (events)."""
+"""Fabric-management protocols: PI-4 (configuration) and PI-5 (events).
+
+:mod:`.transaction` adds the reliability layer on top of them: tagged
+transactions with adaptive timeouts and bounded, backed-off retries.
+"""
 
 from . import pi4, pi5
 from .entity import DEFAULT_DEVICE_PROCESSING_TIME, ManagementEntity
+from .transaction import TimeoutPolicy, Transaction, TransactionEngine
 
 __all__ = [
     "DEFAULT_DEVICE_PROCESSING_TIME",
     "ManagementEntity",
+    "TimeoutPolicy",
+    "Transaction",
+    "TransactionEngine",
     "pi4",
     "pi5",
 ]

@@ -23,6 +23,7 @@ election protocol's controlled flood.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from itertools import count
 from typing import Callable, Optional
 
@@ -73,6 +74,24 @@ class ManagementEntity:
         self.app_handler: Optional[Callable[[Packet, Optional[Port]], None]] = None
         self._event_seq = count(1)
         self._inbox = Store(self.env)
+        #: PI-5 recovery: events are fire-and-forget (no completion to
+        #: retry on), so on a lossy fabric each one is blindly repeated
+        #: — the CDP/LLDP periodic-advertisement idea.  The FM dedups
+        #: by (reporter, seq).  Zero on a perfect channel: the default
+        #: configuration schedules no extra events.
+        self.event_repeats = 2 if device.params.lossy else 0
+        #: Spacing between blind PI-5 retransmissions (seconds).
+        self.event_repeat_interval = 2e-4
+        #: Bounded LRU of served completions, keyed by request tag.
+        #: When a retried (or link-replayed) request arrives again, the
+        #: cached completion is resent without re-executing the
+        #: configuration-space access — config writes (event routes,
+        #: FM claims) are not idempotent.  Tags are unique per request
+        #: across requesters (the transaction engine salts them), so a
+        #: tag hit really is the same transaction.
+        self._served_replies: "OrderedDict[int, object]" = OrderedDict()
+        #: Completions remembered for duplicate suppression.
+        self.served_cache_limit = 256
 
         device.local_handler = self._enqueue
         device.port_state_observer = self._on_port_state
@@ -159,6 +178,25 @@ class ManagementEntity:
     # -- PI-4 service (device side) ---------------------------------------
     def _serve_request(self, packet: Packet, port: Optional[Port],
                        message) -> None:
+        reply = self._served_replies.get(message.tag)
+        if reply is not None:
+            # Duplicate of a request already served (the requester
+            # retried while the original completion was in flight, or
+            # the link layer replayed the request).  Resend the cached
+            # completion; the processing time was charged by the inbox
+            # loop exactly as for a first-time request.
+            self.stats.incr("duplicate_requests")
+            self._served_replies.move_to_end(message.tag)
+            self._send_reply(packet, port, reply)
+            return
+        reply = self._execute_request(port, message)
+        self._served_replies[message.tag] = reply
+        if len(self._served_replies) > self.served_cache_limit:
+            self._served_replies.popitem(last=False)
+        self._send_reply(packet, port, reply)
+
+    def _execute_request(self, port: Optional[Port], message):
+        """Run the configuration-space access and build the completion."""
         space = self.device.config_space
         arrival = port.index if port is not None else pi4.NO_PORT
         common = dict(cap_id=message.cap_id, offset=message.offset,
@@ -182,6 +220,10 @@ class ManagementEntity:
                 status = exc.status
                 self.stats.incr("write_errors")
             reply = pi4.WriteCompletion(status=status, **common)
+        return reply
+
+    def _send_reply(self, packet: Packet, port: Optional[Port],
+                    reply) -> None:
         if port is None:
             # Request was issued locally (FM reading its own endpoint);
             # deliver the completion locally too.
@@ -234,16 +276,26 @@ class ManagementEntity:
             )
             self.manager.handle_local_event(event)
             return
-        cap = self.device.config_space.capability(EVENT_ROUTE_CAP_ID)
-        route = cap.get_route()
-        if route is None:
-            self.stats.incr("events_unroutable")
-            return
-        turn_pool, turn_pointer, out_port = route
         event = pi5.PortEvent(
             reporter_dsn=self.device.dsn, port=port.index, up=up,
             seq=next(self._event_seq),
         )
+        if not self._emit_event(event):
+            return
+        for attempt in range(1, self.event_repeats + 1):
+            self.env.schedule_callback(
+                attempt * self.event_repeat_interval,
+                lambda _ev, e=event: self._repeat_event(e),
+            )
+
+    def _emit_event(self, event: pi5.PortEvent) -> bool:
+        """Transmit one PI-5 notification along the programmed route."""
+        cap = self.device.config_space.capability(EVENT_ROUTE_CAP_ID)
+        route = cap.get_route()
+        if route is None:
+            self.stats.incr("events_unroutable")
+            return False
+        turn_pool, turn_pointer, out_port = route
         header = make_management_header(
             turn_pool, turn_pointer, pi=PI_EVENT, tc=MANAGEMENT_TC,
         )
@@ -252,9 +304,18 @@ class ManagementEntity:
         out = self.device.ports[out_port]
         if not out.is_up:
             self.stats.incr("events_unroutable")
-            return
+            return False
         self.stats.incr("pi5_sent")
         self.device.inject(packet, out_port)
+        return True
+
+    def _repeat_event(self, event: pi5.PortEvent) -> None:
+        """Blind PI-5 retransmission (the route is re-resolved, so a
+        reprogrammed event route is honoured)."""
+        if not self.device.active:
+            return
+        if self._emit_event(event):
+            self.stats.incr("pi5_repeats")
 
     # -- multicast emission -----------------------------------------------
     def send_multicast(self, payload: bytes, tc: int = MANAGEMENT_TC,

@@ -52,6 +52,16 @@ class Pi4Error(ValueError):
     """Raised when a PI-4 payload cannot be decoded."""
 
 
+class Pi4DecodeError(Pi4Error):
+    """A PI-4 payload is truncated or structurally garbage.
+
+    Wraps the bare :class:`struct.error` the stdlib raises on malformed
+    buffers, so receive paths can drop undecodable management packets
+    (a real possibility once the link error model corrupts payload
+    bytes) by catching :class:`Pi4Error` instead of crashing.
+    """
+
+
 #: ``arrival_port`` value for requests and local loopback completions.
 NO_PORT = 0xFF
 
@@ -151,21 +161,33 @@ AnyPi4 = Union[ReadRequest, ReadCompletion, ReadError, WriteRequest,
 
 
 def decode(payload: bytes) -> AnyPi4:
-    """Decode a PI-4 payload into its message object."""
+    """Decode a PI-4 payload into its message object.
+
+    Raises :class:`Pi4DecodeError` (a :class:`Pi4Error`) on truncated
+    or structurally invalid payloads — never a bare ``struct.error``.
+    """
     if len(payload) < _HEAD.size:
-        raise Pi4Error(f"PI-4 payload of {len(payload)} bytes is too short")
-    (msg_type, count, cap_id, status, offset, tag,
-     arrival_port) = _HEAD.unpack_from(payload)
+        raise Pi4DecodeError(
+            f"PI-4 payload of {len(payload)} bytes is too short"
+        )
+    try:
+        (msg_type, count, cap_id, status, offset, tag,
+         arrival_port) = _HEAD.unpack_from(payload)
+    except struct.error as exc:  # pragma: no cover - length checked above
+        raise Pi4DecodeError(f"PI-4 header unpack failed: {exc}") from exc
     body = payload[_HEAD.size:]
 
     def data_words(n: int) -> tuple:
         if len(body) < 4 * n:
-            raise Pi4Error(
+            raise Pi4DecodeError(
                 f"PI-4 payload truncated: {len(body)} bytes for {n} dwords"
             )
-        return tuple(
-            struct.unpack_from(">I", body, 4 * i)[0] for i in range(n)
-        )
+        try:
+            return tuple(
+                struct.unpack_from(">I", body, 4 * i)[0] for i in range(n)
+            )
+        except struct.error as exc:  # pragma: no cover - length checked
+            raise Pi4DecodeError(f"PI-4 data unpack failed: {exc}") from exc
 
     common = dict(cap_id=cap_id, offset=offset, tag=tag,
                   arrival_port=arrival_port)
@@ -179,7 +201,7 @@ def decode(payload: bytes) -> AnyPi4:
         return WriteRequest(data=data_words(count), **common)
     if msg_type == MSG_WRITE_COMPLETION:
         return WriteCompletion(status=status, **common)
-    raise Pi4Error(f"unknown PI-4 message type {msg_type:#04x}")
+    raise Pi4DecodeError(f"unknown PI-4 message type {msg_type:#04x}")
 
 
 def is_request(message: AnyPi4) -> bool:

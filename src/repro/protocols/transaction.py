@@ -1,0 +1,278 @@
+"""Retrying PI-4 transaction engine.
+
+The paper's discovery processes assume a perfect channel: every PI-4
+read and PI-5 event survives the fabric.  With the link error model
+(:mod:`repro.fabric.phy`) enabled, management packets are corrupted or
+lost in flight, so requests need end-to-end recovery — the same reason
+real topology-discovery protocols (CDP/LLDP) are built around periodic
+retransmission and holddown timers.
+
+This module owns the requester side of that recovery:
+
+* **Transaction IDs** — every outstanding request gets a unique tag
+  (the PI-4 ``tag`` dword).  Tags are salted per requester so that two
+  fabric managers alive at once (failover, election) never reuse each
+  other's tags, which would defeat duplicate suppression at the
+  responders.
+* **Adaptive timeouts** — :class:`TimeoutPolicy` derives a per-request
+  timeout from the route length encoded in the turn pool and the
+  Fig. 4 processing-time model, floored at the requester's configured
+  timeout so it can only ever *raise* the patience (a shorter derived
+  value would cause spurious retries on backlogged fabrics).
+* **Bounded retries with exponential backoff** — each retransmission
+  of a policy-timed request doubles the next period, so a congested
+  fabric is not hammered at a fixed cadence.  Requests with an
+  explicitly chosen timeout keep a fixed cadence (they are liveness
+  probes whose give-up time the caller computed).
+
+The responder side — duplicate-request suppression — lives in
+:class:`repro.protocols.entity.ManagementEntity`, which caches served
+completions by tag and replays them without re-executing the
+configuration-space access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import count
+from typing import Any, Callable, Dict, Optional
+
+from ..routing.turnpool import TurnPool, turn_width
+
+#: Default fabric round-trip timeout (seconds).  Generous compared to
+#: the microsecond-scale round trips of the modeled fabric.
+DEFAULT_TIMEOUT = 1e-3
+
+#: Default number of retransmissions before a request is abandoned.
+DEFAULT_MAX_RETRIES = 3
+
+#: Backoff multiplier applied to the period of policy-timed requests
+#: after every retransmission.
+DEFAULT_BACKOFF = 2.0
+
+#: Safety margin multiplying the estimated round trip.
+DEFAULT_SAFETY = 8.0
+
+#: Conservative wire-size estimate (bytes) for one management packet;
+#: covers the largest PI-4 completion plus framing and PCRC.
+MGMT_PACKET_ESTIMATE = 64
+
+#: Tags are a 32-bit PI-4 field; the salt occupies the top half so a
+#: requester has the bottom 16 bits (65k outstanding-ever requests)
+#: before colliding with its own salt space.
+TAG_SALT_SHIFT = 16
+
+
+@dataclass
+class Transaction:
+    """One outstanding request awaiting its completion."""
+
+    tag: int
+    message: Any
+    pool: TurnPool
+    out_port: Optional[int]
+    callback: Callable
+    ctx: Any
+    retries_left: int
+    stats: Optional[Any]
+    #: Current timeout period (grows by ``backoff`` per retry).
+    timeout: float = DEFAULT_TIMEOUT
+    #: Period multiplier applied after each retransmission (1.0 for
+    #: caller-timed requests — fixed cadence).
+    backoff: float = 1.0
+    #: Set when the completion reaches the requesting endpoint (it may
+    #: still wait in the FM's serial processing queue).  Timeouts
+    #: measure the fabric round trip, not the FM's own backlog.
+    arrived: bool = False
+    #: Transmissions so far (1 = no retries yet).
+    attempts: int = 1
+
+
+class TimeoutPolicy:
+    """Derives per-request timeouts from route length and Fig. 4 times.
+
+    The estimate is intentionally crude — cut-through per-hop latency
+    for a conservative packet size, both directions, plus the device
+    and FM processing times of the Fig. 4 model — then multiplied by a
+    safety factor and floored at the requester's configured timeout.
+    The floor means the policy can only ever *increase* patience: with
+    default parameters the floor dominates and behaviour is identical
+    to a fixed-timeout requester, while slowed-down processing factors
+    (the Figs. 8-9 ablations) automatically stretch the timeout instead
+    of triggering spurious retries.
+    """
+
+    __slots__ = ("params", "timing", "algorithm", "floor", "safety")
+
+    def __init__(self, params, timing, algorithm: str,
+                 floor: float = DEFAULT_TIMEOUT,
+                 safety: float = DEFAULT_SAFETY):
+        self.params = params
+        self.timing = timing
+        self.algorithm = algorithm
+        self.floor = floor
+        self.safety = safety
+
+    def route_hops(self, pool: TurnPool) -> int:
+        """Number of switch hops encoded in a turn pool."""
+        width = turn_width(self.params.switch_ports)
+        if width <= 0:
+            return 0
+        return pool.bits // width
+
+    def timeout_for(self, pool: TurnPool, known_devices: int = 0) -> float:
+        """Timeout for one request along ``pool``'s route."""
+        params = self.params
+        per_hop = (
+            params.tx_time(MGMT_PACKET_ESTIMATE)
+            + params.routing_latency
+            + params.propagation_delay
+        )
+        # Request and completion each cross every link of the route
+        # (hops switches + the two endpoint links).
+        round_trip = 2.0 * (self.route_hops(pool) + 2) * per_hop
+        service = (
+            self.timing.device_processing_time()
+            + self.timing.fm_time(self.algorithm, known_devices)
+        )
+        derived = self.safety * (round_trip + service)
+        return derived if derived > self.floor else self.floor
+
+
+class TransactionEngine:
+    """Outstanding-request tracker for one PI-4 requester.
+
+    The engine owns the tag space, the retry timers, and the pending
+    map; the attached manager keeps its completion bookkeeping (stats,
+    packet timeline) and supplies hooks for per-transmission accounting.
+    Counter names (``requests_sent``, ``retries``, ``timeouts``,
+    ``completions_received``, ``stale_completions``) are shared with the
+    pre-engine fabric manager so existing dashboards and tests keep
+    working.
+    """
+
+    def __init__(self, env, entity, counters, *,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 default_timeout: float = DEFAULT_TIMEOUT,
+                 policy: Optional[TimeoutPolicy] = None,
+                 backoff: float = DEFAULT_BACKOFF,
+                 tag_salt: int = 0,
+                 on_transmit: Optional[Callable[[Transaction, Any], None]]
+                 = None,
+                 known_devices: Optional[Callable[[], int]] = None):
+        self.env = env
+        self.entity = entity
+        self.counters = counters
+        self.max_retries = max_retries
+        self.default_timeout = default_timeout
+        self.policy = policy
+        self.backoff = backoff
+        #: Per-transmission hook: ``on_transmit(transaction, packet)``
+        #: (byte accounting on the active discovery's stats).
+        self.on_transmit = on_transmit
+        #: Size of the requester's topology database, fed to the
+        #: timeout policy (FM processing time grows with it).
+        self.known_devices = known_devices
+        #: Outstanding transactions by tag.  Shared by reference with
+        #: the owning manager (``fm._pending``), so callers clearing
+        #: one clear the other.
+        self.pending: Dict[int, Transaction] = {}
+        self._tags = count((tag_salt << TAG_SALT_SHIFT) + 1)
+
+    # -- requester API -----------------------------------------------------
+    def open(self, message, pool: TurnPool, out_port: Optional[int],
+             callback: Callable, ctx: Any = None,
+             retries: Optional[int] = None,
+             timeout: Optional[float] = None,
+             stats: Optional[Any] = None) -> int:
+        """Send a request; ``callback(completion_or_None, ctx)``.
+
+        ``retries``/``timeout`` override the engine defaults.  An
+        explicit ``timeout`` keeps a fixed retry cadence (the caller
+        computed the give-up time); otherwise the timeout policy (when
+        configured) derives the initial period and retries back off
+        exponentially.
+        """
+        tag = next(self._tags)
+        message = replace(message, tag=tag)
+        if timeout is not None:
+            period, backoff = timeout, 1.0
+        elif self.policy is not None:
+            known = self.known_devices() if self.known_devices else 0
+            period, backoff = self.policy.timeout_for(pool, known), \
+                self.backoff
+        else:
+            period, backoff = self.default_timeout, self.backoff
+        entry = Transaction(
+            tag=tag, message=message, pool=pool, out_port=out_port,
+            callback=callback, ctx=ctx,
+            retries_left=self.max_retries if retries is None else retries,
+            stats=stats, timeout=period, backoff=backoff,
+        )
+        self.pending[tag] = entry
+        self._transmit(entry)
+        return tag
+
+    def note_arrival(self, tag: int) -> None:
+        """A completion for ``tag`` reached the requesting endpoint."""
+        entry = self.pending.get(tag)
+        if entry is not None:
+            entry.arrived = True
+
+    def complete(self, message) -> Optional[Transaction]:
+        """Match a decoded completion to its transaction.
+
+        Pops and returns the transaction, or ``None`` for a stale
+        completion (already completed, superseded, or a duplicate
+        delivered by a replaying link).
+        """
+        entry = self.pending.pop(message.tag, None)
+        if entry is None:
+            self.counters.incr("stale_completions")
+            return None
+        self.counters.incr("completions_received")
+        return entry
+
+    def cancel_all(self) -> None:
+        """Forget every outstanding transaction (no callbacks fire)."""
+        self.pending.clear()
+
+    # -- internals ---------------------------------------------------------
+    def _transmit(self, entry: Transaction) -> None:
+        packet = self.entity.send_pi4(
+            entry.message, entry.pool.pool, entry.pool.bits, entry.out_port
+        )
+        self.counters.incr("requests_sent")
+        if self.on_transmit is not None:
+            self.on_transmit(entry, packet)
+        timer = self.env.timeout(entry.timeout)
+        timer.callbacks.append(
+            lambda ev, tag=entry.tag: self._on_timeout(tag)
+        )
+
+    def _on_timeout(self, tag: int) -> None:
+        entry = self.pending.get(tag)
+        if entry is None:
+            return  # completed (or superseded) in the meantime
+        if entry.arrived:
+            return  # response is queued at the requester; not a loss
+        if entry.retries_left > 0:
+            entry.retries_left -= 1
+            entry.attempts += 1
+            entry.timeout *= entry.backoff
+            self.counters.incr("retries")
+            if entry.stats is not None:
+                entry.stats.retries += 1
+            self._transmit(entry)
+            return
+        del self.pending[tag]
+        self.counters.incr("timeouts")
+        if entry.stats is not None:
+            entry.stats.timeouts += 1
+        entry.callback(None, entry.ctx)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<TransactionEngine {len(self.pending)} outstanding, "
+            f"max_retries={self.max_retries}>"
+        )

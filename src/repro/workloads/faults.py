@@ -62,29 +62,49 @@ class FaultInjector:
         self._failed_links: List[tuple] = []
         self._proc = None
         self._stopping = False
+        self._done: Optional[Event] = None
+        #: The Timeout the injector loop is currently sleeping on.
+        self._wait = None
 
     # -- schedule -----------------------------------------------------------
     def run(self, faults: int) -> Event:
         """Inject ``faults`` changes; the event triggers when done."""
         if self._proc is not None:
             raise RuntimeError("fault injector already running")
-        done = self.env.event()
-        self._proc = self.env.process(self._loop(faults, done),
+        self._done = self.env.event()
+        self._proc = self.env.process(self._loop(faults, self._done),
                                       name="fault-injector")
-        return done
+        return self._done
 
     def _loop(self, faults: int, done: Event):
         for _ in range(faults):
-            yield self.env.timeout(
+            self._wait = self.env.timeout(
                 self.rng.expovariate(1.0 / self.mean_interval)
             )
+            yield self._wait
+            self._wait = None
             if self._stopping:
                 break
             self._inject_one()
-        done.succeed(list(self.log))
+        if not done.triggered:
+            done.succeed(list(self.log))
 
     def stop(self) -> None:
+        """Stop injecting *now*.
+
+        The pending inter-fault timeout is cancelled (the loop would
+        otherwise sleep through one more interval before noticing) and
+        the ``run`` event succeeds immediately with the partial log.
+        """
         self._stopping = True
+        if self._wait is not None and not self._wait.triggered:
+            # The loop generator stays suspended on the cancelled
+            # event forever; that is fine — it holds no simulation
+            # resources and schedules nothing further.
+            self.env.cancel(self._wait)
+            self._wait = None
+        if self._done is not None and not self._done.triggered:
+            self._done.succeed(list(self.log))
 
     # -- fault selection --------------------------------------------------------
     def _eligible_switches(self) -> List[str]:

@@ -1,0 +1,111 @@
+"""Tests for the discovery-under-loss reliability sweep."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.reliability import (
+    DEFAULT_BIT_ERROR_RATES,
+    ReliabilityResult,
+    render_reliability,
+    run_reliability_experiment,
+    summarize_reliability,
+    sweep_reliability,
+)
+from repro.fabric.params import DEFAULT_PARAMS
+from repro.topology.table1 import table1_topology
+
+MESH = table1_topology("3x3 mesh")
+RATES = (0.0, 5e-5, 1e-4)
+
+
+class TestSingleRun:
+    def test_perfect_channel_matches_golden_no_recovery(self):
+        result = run_reliability_experiment(MESH, "parallel")
+        assert result.database_correct
+        assert result.retries == 0
+        assert result.timeouts == 0
+        assert result.crc_drops == 0
+        assert result.lost_packets == 0
+        assert result.bit_error_rate == 0.0
+
+    def test_lossy_run_recovers_via_retries(self):
+        params = replace(DEFAULT_PARAMS, bit_error_rate=1e-4)
+        result = run_reliability_experiment(
+            MESH, "parallel", params=params, seed=0
+        )
+        assert result.database_correct
+        assert result.crc_drops > 0
+        assert result.retries > 0
+        assert result.devices_found == MESH.total_devices
+
+    def test_asdict_round_trip(self):
+        result = run_reliability_experiment(MESH, "parallel")
+        info = result.asdict()
+        assert ReliabilityResult(**info) == result
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return sweep_reliability(
+            MESH, bit_error_rates=RATES, algorithms=("parallel",),
+        )
+
+    def test_one_result_per_rate_in_submission_order(self, results):
+        assert [r.bit_error_rate for r in results] == list(RATES)
+        assert all(r.database_correct for r in results)
+
+    def test_discovery_time_degrades_monotonically(self, results):
+        times = [r.discovery_time for r in results]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        # And the lossiest point is strictly slower than the perfect
+        # channel (the sweep must measure something).
+        assert times[-1] > times[0]
+
+    def test_parallel_workers_match_serial(self, results):
+        fanned = sweep_reliability(
+            MESH, bit_error_rates=RATES, algorithms=("parallel",),
+            workers=2, progress=False,
+        )
+        assert fanned == results
+
+
+class TestSummaryAndRendering:
+    def _fake(self, algorithm, rate, time, correct=True):
+        return ReliabilityResult(
+            topology="t", family="mesh", algorithm=algorithm, seed=0,
+            bit_error_rate=rate, packet_loss_rate=0.0, duplicate_rate=0.0,
+            discovery_time=time, devices_found=5, requests_sent=10,
+            retries=1, timeouts=0, stale_completions=0,
+            duplicate_requests=0, crc_drops=2, lost_packets=0,
+            replayed_packets=0, database_correct=correct,
+        )
+
+    def test_summarize_groups_and_averages(self):
+        rows = summarize_reliability([
+            self._fake("parallel", 1e-5, 2.0),
+            self._fake("parallel", 1e-5, 4.0),
+            self._fake("parallel", 0.0, 1.0),
+            self._fake("serial", 0.0, 5.0, correct=False),
+        ])
+        assert [(r["algorithm"], r["bit_error_rate"]) for r in rows] == [
+            ("parallel", 0.0), ("parallel", 1e-5), ("serial", 0.0),
+        ]
+        assert rows[1]["runs"] == 2
+        assert rows[1]["mean_discovery_time"] == pytest.approx(3.0)
+        assert rows[0]["all_correct"] is True
+        assert rows[2]["all_correct"] is False
+
+    def test_render_produces_table_with_title(self):
+        rows = summarize_reliability([self._fake("parallel", 0.0, 1.0)])
+        text = render_reliability(rows, title="Loss sweep")
+        assert text.startswith("Loss sweep\n")
+        assert "parallel" in text
+        assert "CRC drops" in text
+
+    def test_default_rates_start_at_perfect_channel(self):
+        assert DEFAULT_BIT_ERROR_RATES[0] == 0.0
+        assert list(DEFAULT_BIT_ERROR_RATES) == sorted(
+            DEFAULT_BIT_ERROR_RATES
+        )

@@ -1,0 +1,239 @@
+"""Unit + integration tests for the link error model (lossy channels)."""
+
+import pytest
+
+from repro.fabric import Fabric, FabricParams, Packet
+from repro.fabric.header import RouteHeader
+from repro.fabric.packet import PI_APPLICATION
+from repro.fabric.phy import (
+    DELIVER_CORRUPT,
+    DELIVER_LOST,
+    DELIVER_OK,
+    LinkErrorModel,
+)
+from repro.routing.turnpool import Hop, build_turn_pool
+from repro.sim import Environment
+
+
+class TestLinkErrorModel:
+    def test_perfect_channel_gets_no_model(self):
+        assert LinkErrorModel.for_link(FabricParams(), "sw0.p1") is None
+
+    def test_lossy_channel_gets_model(self):
+        params = FabricParams(bit_error_rate=1e-6)
+        model = LinkErrorModel.for_link(params, "sw0.p1")
+        assert model is not None
+        assert model.bit_error_rate == 1e-6
+
+    def test_streams_deterministic_per_link_name(self):
+        params = FabricParams(bit_error_rate=1e-3, error_seed=3)
+        a1 = LinkErrorModel.for_link(params, "linkA")
+        a2 = LinkErrorModel.for_link(params, "linkA")
+        b = LinkErrorModel.for_link(params, "linkB")
+        seq_a1 = [a1.classify(64) for _ in range(200)]
+        seq_a2 = [a2.classify(64) for _ in range(200)]
+        seq_b = [b.classify(64) for _ in range(200)]
+        assert seq_a1 == seq_a2
+        assert seq_a1 != seq_b  # independent per-link streams
+
+    def test_streams_depend_on_seed(self):
+        lossy = FabricParams(bit_error_rate=1e-3)
+        s0 = LinkErrorModel.for_link(lossy, "l")
+        s1 = LinkErrorModel.for_link(
+            FabricParams(bit_error_rate=1e-3, error_seed=1), "l"
+        )
+        assert [s0.classify(64) for _ in range(200)] != \
+            [s1.classify(64) for _ in range(200)]
+
+    def test_corrupt_probability_formula(self):
+        model = LinkErrorModel(1e-4, 0.0, 0.0, 1.0, seed=0)
+        expect = 1.0 - (1.0 - 1e-4) ** (8 * 100)
+        assert model.corrupt_probability(100) == pytest.approx(expect)
+        # Memoized: second lookup returns the identical float.
+        assert model.corrupt_probability(100) is model._corrupt_cache[100]
+
+    def test_classify_partitions_loss_before_corruption(self):
+        model = LinkErrorModel(0.0, 0.999, 0.0, 1.0, seed=0)
+        verdicts = {model.classify(64) for _ in range(100)}
+        assert DELIVER_LOST in verdicts
+        assert DELIVER_CORRUPT not in verdicts
+
+        pure_ber = LinkErrorModel(1e-2, 0.0, 0.0, 1.0, seed=0)
+        verdicts = {pure_ber.classify(512) for _ in range(100)}
+        assert DELIVER_CORRUPT in verdicts
+        assert DELIVER_LOST not in verdicts
+
+    def test_classify_counts_fates(self):
+        model = LinkErrorModel(1e-3, 0.2, 0.0, 1.0, seed=0)
+        n = 500
+        ok = sum(1 for _ in range(n) if model.classify(64) == DELIVER_OK)
+        assert ok + model.lost + model.corrupted == n
+        assert model.lost > 0 and model.corrupted > 0
+
+    def test_corrupt_bytes_flips_reported_bits(self):
+        model = LinkErrorModel(1e-4, 0.0, 0.0, 1.0, seed=42)
+        data = bytes(range(64))
+        corrupted, flips = model.corrupt_bytes(data)
+        assert flips == 1  # burst length 1.0 = single-bit errors
+        assert len(corrupted) == len(data)
+        differing_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(data, corrupted)
+        )
+        assert differing_bits == 1
+
+    def test_burst_corruption_flips_multiple_bits(self):
+        model = LinkErrorModel(1e-4, 0.0, 0.0, 8.0, seed=0)
+        total_flips = sum(
+            model.corrupt_bytes(bytes(64))[1] for _ in range(200)
+        )
+        # Geometric with mean 8: the average must be well above 1.
+        assert total_flips / 200 > 3.0
+
+    def test_duplicate_draws_and_counts(self):
+        model = LinkErrorModel(0.0, 0.0, 0.9, 1.0, seed=0)
+        hits = sum(1 for _ in range(100) if model.duplicate())
+        assert hits == model.duplicated
+        assert hits > 50
+
+
+class TestParamsValidation:
+    @pytest.mark.parametrize("field", [
+        "bit_error_rate", "packet_loss_rate", "duplicate_rate",
+    ])
+    @pytest.mark.parametrize("value", [-0.1, 1.0, 1.5])
+    def test_rates_must_be_in_unit_interval(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            FabricParams(**{field: value})
+
+    def test_burst_length_must_be_at_least_one(self):
+        with pytest.raises(ValueError, match="error_burst_length"):
+            FabricParams(error_burst_length=0.5)
+
+    def test_lossy_property(self):
+        assert not FabricParams().lossy
+        assert FabricParams(bit_error_rate=1e-9).lossy
+        assert FabricParams(packet_loss_rate=0.1).lossy
+        assert FabricParams(duplicate_rate=0.1).lossy
+
+    def test_round_trip_through_dict(self):
+        params = FabricParams(
+            bit_error_rate=1e-5, packet_loss_rate=0.01,
+            duplicate_rate=0.005, error_burst_length=4.0, error_seed=9,
+            vc_types=("bvc", "mvc"),
+        )
+        assert FabricParams.from_dict(params.to_dict()) == params
+
+
+def lossy_pair(params):
+    """ep0 -- sw -- ep1 with the given (lossy) fabric parameters."""
+    env = Environment()
+    fabric = Fabric(env, params)
+    fabric.add_endpoint("ep0")
+    fabric.add_endpoint("ep1")
+    fabric.add_switch("sw")
+    fabric.connect("ep0", 0, "sw", 0)
+    fabric.connect("sw", 1, "ep1", 0)
+    fabric.power_up()
+    return env, fabric
+
+
+def data_packet(pool, payload_bytes=200):
+    header = RouteHeader(pi=PI_APPLICATION, tc=0,
+                         turn_pointer=pool.bits, turn_pool=pool.pool)
+    return Packet(header=header, payload=bytes(payload_bytes))
+
+
+def total_port_stat(fabric, name):
+    return sum(
+        port.stats[name]
+        for dev in fabric.devices.values() for port in dev.ports
+    )
+
+
+class TestLossyDelivery:
+    def test_lost_packets_counted_and_credits_returned(self):
+        params = FabricParams(packet_loss_rate=0.4, error_seed=1)
+        env, fabric = lossy_pair(params)
+        pool = build_turn_pool([Hop(16, 0, 1)])
+        arrivals = []
+        fabric.device("ep1").local_handler = (
+            lambda packet, port: arrivals.append(packet)
+        )
+        for _ in range(25):
+            fabric.device("ep0").inject(data_packet(pool))
+        env.run()
+        lost = total_port_stat(fabric, "rx_lost")
+        assert lost > 0
+        # Conservation: every injected packet either arrives or is lost
+        # on exactly one hop.
+        assert len(arrivals) + lost == 25
+        for device in fabric.devices.values():
+            for port in device.ports:
+                for counter in port.credits:
+                    assert counter.available == counter.capacity
+
+    def test_corrupted_packets_fail_crc_and_are_dropped(self):
+        params = FabricParams(bit_error_rate=2e-4, error_seed=1)
+        env, fabric = lossy_pair(params)
+        pool = build_turn_pool([Hop(16, 0, 1)])
+        arrivals = []
+        fabric.device("ep1").local_handler = (
+            lambda packet, port: arrivals.append(packet)
+        )
+        for _ in range(25):
+            fabric.device("ep0").inject(data_packet(pool, 400))
+        env.run()
+        dropped = total_port_stat(fabric, "rx_crc_dropped")
+        assert dropped > 0
+        assert len(arrivals) + dropped \
+            + total_port_stat(fabric, "rx_undetected_errors") == 25
+        for device in fabric.devices.values():
+            for port in device.ports:
+                for counter in port.credits:
+                    assert counter.available == counter.capacity
+
+    def test_duplicates_replayed_and_credits_returned(self):
+        params = FabricParams(duplicate_rate=0.3, error_seed=1)
+        env, fabric = lossy_pair(params)
+        pool = build_turn_pool([Hop(16, 0, 1)])
+        arrivals = []
+        fabric.device("ep1").local_handler = (
+            lambda packet, port: arrivals.append(packet)
+        )
+        for _ in range(25):
+            fabric.device("ep0").inject(data_packet(pool))
+        env.run()
+        replays = total_port_stat(fabric, "tx_replays")
+        assert replays > 0
+        # Every copy is a real delivery: arrivals exceed injections.
+        assert len(arrivals) > 25
+        for device in fabric.devices.values():
+            for port in device.ports:
+                for counter in port.credits:
+                    assert counter.available == counter.capacity
+
+    def test_lossy_runs_are_reproducible(self):
+        def run_once():
+            params = FabricParams(bit_error_rate=1e-4,
+                                  packet_loss_rate=0.05, error_seed=5)
+            env, fabric = lossy_pair(params)
+            pool = build_turn_pool([Hop(16, 0, 1)])
+            times = []
+            fabric.device("ep1").local_handler = (
+                lambda packet, port: times.append(env.now)
+            )
+            for _ in range(30):
+                fabric.device("ep0").inject(data_packet(pool, 300))
+            env.run()
+            return times, total_port_stat(fabric, "rx_lost"), \
+                total_port_stat(fabric, "rx_crc_dropped")
+
+        assert run_once() == run_once()
+
+    def test_zero_rates_take_perfect_channel_fast_path(self):
+        env, fabric = lossy_pair(FabricParams())
+        for link in fabric.links:
+            assert link.error_model is None
+        for device in fabric.devices.values():
+            for port in device.ports:
+                assert port._error_model is None

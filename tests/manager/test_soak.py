@@ -67,6 +67,47 @@ class TestFaultInjector:
             injector.run(faults=1)
 
 
+class TestImmediateStop:
+    def test_stop_triggers_done_at_stop_time_with_partial_log(self):
+        setup = build_simulation(make_mesh(3, 3), auto_start=False)
+        env = setup.env
+        injector = FaultInjector(setup.fabric, mean_interval=5e-3, seed=77)
+        done = injector.run(faults=100)
+
+        t_stop = 12e-3
+        env.timeout(t_stop).callbacks.append(lambda _ev: injector.stop())
+        log = env.run(until=done)
+
+        # ``done`` fires exactly at the stop instant, not after the
+        # pending exponential interval elapses.
+        assert env.now == pytest.approx(t_stop)
+        assert all(event.time <= t_stop for event in log)
+        assert log == injector.log
+
+        # No further faults are injected after the stop.
+        count = len(injector.log)
+        env.run()
+        assert len(injector.log) == count
+
+    def test_stop_before_first_fault_yields_empty_log(self):
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        injector = FaultInjector(setup.fabric, mean_interval=1.0, seed=0)
+        done = injector.run(faults=5)
+        injector.stop()
+        log = setup.env.run(until=done)
+        assert log == []
+        assert setup.env.now == 0.0
+
+    def test_stop_after_completion_is_a_noop(self):
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        injector = FaultInjector(setup.fabric, mean_interval=2e-3, seed=1)
+        done = injector.run(faults=3)
+        log = setup.env.run(until=done)
+        assert len(log) == 3
+        injector.stop()  # must not raise or re-trigger ``done``
+        assert done.value == log
+
+
 class TestSoakFullRediscovery:
     def test_fm_converges_after_many_changes(self):
         setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL)
