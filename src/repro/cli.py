@@ -14,6 +14,10 @@ Commands
 ``reliability``
     Sweep discovery over lossy links (bit error rate x algorithm) and
     report mean discovery time and recovery work per loss point.
+``churn``
+    Soak discovery under mid-walk topology churn (seeded fault bursts
+    preferring mid-discovery instants) and report the recovery work,
+    time to converge, and the consistency auditor's verdict.
 ``list``
     List the available topologies and algorithms.
 """
@@ -31,6 +35,13 @@ from .experiments.figures import (
     figure8,
     figure9,
     figure_table1,
+)
+from .experiments.churn import (
+    DEFAULT_FAULTS,
+    DEFAULT_MEAN_INTERVAL,
+    render_churn,
+    summarize_churn,
+    sweep_churn,
 )
 from .experiments.executor import change_job, run_many
 from .experiments.reliability import (
@@ -107,6 +118,34 @@ def _build_parser() -> argparse.ArgumentParser:
     reliability.add_argument("--jobs", type=int, default=1, metavar="N",
                              help="worker processes (1 = in-process)")
     _add_profile_flag(reliability)
+
+    churn = sub.add_parser(
+        "churn", help="mid-discovery churn soak",
+    )
+    churn.add_argument("--topology", default="4x4 mesh",
+                       choices=TABLE1_NAMES, metavar="NAME")
+    churn.add_argument("--algorithm", action="append", default=None,
+                       choices=list(ALGORITHMS), dest="algorithms",
+                       help="algorithm to sweep (repeatable; "
+                            "default: all three)")
+    churn.add_argument("--manager", default="full",
+                       choices=("full", "partial"),
+                       help="FM flavour: full rediscovery per change "
+                            "or partial assimilation (default full)")
+    churn.add_argument("--faults", type=int, default=DEFAULT_FAULTS,
+                       help="faults injected per run (default "
+                            f"{DEFAULT_FAULTS})")
+    churn.add_argument("--mean-interval", type=float,
+                       default=DEFAULT_MEAN_INTERVAL, metavar="SECONDS",
+                       help="mean seconds between faults (default "
+                            f"{DEFAULT_MEAN_INTERVAL:g})")
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="fault-schedule seeds seed..seed+N-1 "
+                            "(default 1)")
+    churn.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (1 = in-process)")
+    _add_profile_flag(churn)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", choices=("4", "6", "7", "8", "9"))
@@ -212,6 +251,23 @@ def _cmd_reliability(args) -> int:
     return 0 if all(r.database_correct for r in results) else 1
 
 
+def _cmd_churn(args) -> int:
+    spec = table1_topology(args.topology)
+    algorithms = args.algorithms or list(ALGORITHMS)
+    seeds = range(args.seed, args.seed + max(1, args.seeds))
+    results = sweep_churn(
+        spec, algorithms=algorithms, seeds=seeds, faults=args.faults,
+        mean_interval=args.mean_interval, manager=args.manager,
+        workers=args.jobs,
+    )
+    rows = summarize_churn(results)
+    print(render_churn(
+        rows, title=f"Mid-discovery churn soak on {spec.name} "
+                    f"({len(results)} runs, {args.faults} faults each)",
+    ))
+    return 0 if all(r.converged and r.audit_ok for r in results) else 1
+
+
 def _cmd_figure(args) -> int:
     quick_suite = None
     if args.quick:
@@ -245,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = {
         "discover": _cmd_discover,
         "change": _cmd_change,
+        "churn": _cmd_churn,
         "figure": _cmd_figure,
         "reliability": _cmd_reliability,
     }

@@ -1,0 +1,334 @@
+"""Churn soak: discovery convergence under mid-walk topology churn.
+
+The paper's change-assimilation protocol injects exactly one change,
+and only after the fabric has settled.  A production fabric misbehaves
+*while* the FM is walking it: a switch dies between its general-info
+read and its port reads, a link flaps under a route the walker already
+recorded, a second change lands before the rediscovery for the first
+one finished.  This experiment drives that regime and measures whether
+the hardened FM (bounded restart/repair policy, convergence guard,
+consistency auditor — see :mod:`repro.manager.consistency`) always
+terminates and actually converges to the true topology.
+
+One run = transient period, then a seeded burst of faults preferring
+mid-discovery instants (:class:`repro.workloads.faults.FaultInjector`
+in ``during_discovery`` mode), then run-to-quiescence and a full
+:class:`~repro.manager.consistency.TopologyAuditor` audit.  The sweep
+crosses algorithms x seeds and fans out over the process-parallel
+executor; every run derives all randomness from its own seed, so the
+results are bit-identical regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..fabric.params import DEFAULT_PARAMS, FabricParams
+from ..manager.consistency import audit_topology
+from ..manager.fm import DiscoveryAborted
+from ..manager.timing import ALGORITHMS, PARALLEL, ProcessingTimeModel
+from ..topology.spec import TopologySpec
+from ..workloads.faults import FaultInjector
+from .report import render_table
+from .runner import (
+    MAX_SIM_TIME,
+    SimulationSetup,
+    build_simulation,
+    database_matches_fabric,
+    run_until_ready,
+)
+
+#: Faults injected per soak run by default.
+DEFAULT_FAULTS = 6
+
+#: Mean seconds between faults.  Deliberately of the same order as one
+#: discovery on the small meshes (~2-3 ms), so consecutive faults
+#: routinely overlap a running walk even before the injector's
+#: mid-discovery hold kicks in.
+DEFAULT_MEAN_INTERVAL = 2e-3
+
+#: Convergence-guard sample size used for churn runs (the guard is the
+#: feature under test here; the paper-faithful experiments keep it 0).
+DEFAULT_VERIFY_SAMPLE = 3
+
+
+def _fm_quiet(fm) -> bool:
+    return not (
+        fm.is_discovering or getattr(fm, "is_assimilating", False)
+    )
+
+
+def run_until_quiescent(
+    setup: SimulationSetup,
+    horizon: float = MAX_SIM_TIME,
+    poll: float = 5e-3,
+    settle: float = 20e-3,
+    raise_on_abort: bool = True,
+):
+    """Run until the FM is idle with its event routes programmed.
+
+    Unlike :func:`~repro.experiments.runner.run_until_ready` this keeps
+    going through *chains* of automatic restarts/repairs: it returns
+    only when no discovery or assimilation burst is in flight and the
+    current ``ready_event`` has triggered — and that state has held
+    for ``settle`` seconds (an idle-looking FM may have a PI-5 event
+    packet still in flight toward it) or the event heap has drained
+    entirely.  The bounded restart policy guarantees that state is
+    reached; ``raise_on_abort`` controls whether exhausting the budget
+    surfaces as :class:`~repro.manager.fm.DiscoveryAborted` or is left
+    to the caller to read from the returned stats.
+
+    Returns the stats of the last completed discovery.
+    """
+    env, fm = setup.env, setup.fm
+    deadline = env.now + horizon
+    quiet_since = None
+    while True:
+        ready = fm.ready_event is not None and fm.ready_event.triggered
+        if _fm_quiet(fm) and ready and fm.history:
+            if env.peek() == float("inf"):
+                break
+            if quiet_since is None:
+                quiet_since = env.now
+            elif env.now - quiet_since >= settle:
+                break
+        else:
+            quiet_since = None
+        if env.now >= deadline:
+            raise TimeoutError(
+                f"fabric not quiescent within {horizon} s of simulated "
+                f"time"
+            )
+        env.run(until=min(env.now + poll, deadline))
+    stats = fm.history[-1]
+    if raise_on_abort and stats.aborted:
+        raise DiscoveryAborted(
+            f"restart budget ({fm.max_discovery_restarts}) exhausted "
+            f"after {len(fm.history)} discoveries"
+        )
+    return stats
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of one churn soak run."""
+
+    topology: str
+    family: str
+    algorithm: str
+    manager: str
+    seed: int
+    #: Faults injected / how many landed while the FM was mid-walk.
+    faults: int
+    mid_discovery_faults: int
+    #: Completed discoveries (initial + assimilations + restarts).
+    discoveries: int
+    #: Automatic full restarts taken by the bounded policy.
+    restarts: int
+    #: Targeted subtree repairs that avoided a full rediscovery.
+    repairs: int
+    #: Non-initial full walks (change assimilations + restarts).
+    full_rediscoveries: int
+    #: Partial-assimilation bursts (0 under the ``"full"`` manager).
+    partial_bursts: int
+    #: Convergence-guard re-reads issued / mismatches they caught.
+    guard_probes: int
+    guard_mismatches: int
+    #: Runs that exhausted the restart budget (terminated, not hung).
+    aborted_runs: int
+    #: Seconds from the last injected fault to the end of the last
+    #: discovery (0 if the FM was already converged when it landed).
+    time_to_converge: float
+    #: Database equals the reachable ground truth (graph comparison).
+    converged: bool
+    #: The consistency auditor found zero differences.
+    audit_ok: bool
+    audit_differences: int
+    devices_found: int
+
+    def asdict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "family": self.family,
+            "algorithm": self.algorithm,
+            "manager": self.manager,
+            "seed": self.seed,
+            "faults": self.faults,
+            "mid_discovery_faults": self.mid_discovery_faults,
+            "discoveries": self.discoveries,
+            "restarts": self.restarts,
+            "repairs": self.repairs,
+            "full_rediscoveries": self.full_rediscoveries,
+            "partial_bursts": self.partial_bursts,
+            "guard_probes": self.guard_probes,
+            "guard_mismatches": self.guard_mismatches,
+            "aborted_runs": self.aborted_runs,
+            "time_to_converge": self.time_to_converge,
+            "converged": self.converged,
+            "audit_ok": self.audit_ok,
+            "audit_differences": self.audit_differences,
+            "devices_found": self.devices_found,
+        }
+
+
+def run_churn_experiment(
+    spec: TopologySpec,
+    algorithm: str = PARALLEL,
+    seed: int = 0,
+    faults: int = DEFAULT_FAULTS,
+    mean_interval: float = DEFAULT_MEAN_INTERVAL,
+    manager: str = "full",
+    timing: Optional[ProcessingTimeModel] = None,
+    params: FabricParams = DEFAULT_PARAMS,
+    verify_sample: int = DEFAULT_VERIFY_SAMPLE,
+    max_discovery_restarts: int = 8,
+    restart_backoff: float = 0.0,
+) -> ChurnResult:
+    """One churn soak: settle, inject ``faults`` mid-walk changes,
+    run to quiescence, audit.
+
+    ``seed`` drives both the fault schedule and the convergence-guard
+    sampling, so two runs with the same arguments are bit-for-bit
+    identical regardless of which sweep worker executes them.
+    """
+    setup = build_simulation(
+        spec, algorithm=algorithm, timing=timing, params=params,
+        manager=manager,
+        max_discovery_restarts=max_discovery_restarts,
+        restart_backoff=restart_backoff,
+        verify_sample=verify_sample,
+        verify_seed=seed,
+    )
+    run_until_ready(setup)
+
+    # Protecting the FM's endpoint also shields its attachment
+    # switches and their links (see FaultInjector), so churn can never
+    # amputate the manager itself.
+    injector = FaultInjector(
+        setup.fabric, mean_interval=mean_interval,
+        protect={setup.fm.endpoint.name}, seed=seed,
+        fm=setup.fm, during_discovery=True,
+        # Partial-assimilation bursts are much shorter than a full
+        # walk; a fine hold-poll is needed to catch one in flight.
+        poll_interval=mean_interval / 40,
+    )
+    done = injector.run(faults=faults)
+    setup.env.run(until=done)
+    run_until_quiescent(setup, raise_on_abort=False)
+
+    fm = setup.fm
+    last_fault = injector.log[-1].time if injector.log else 0.0
+    time_to_converge = max(0.0, fm.history[-1].finished_at - last_fault)
+    report = audit_topology(setup.fabric, fm)
+    return ChurnResult(
+        topology=spec.name,
+        family=spec.family,
+        algorithm=algorithm,
+        manager=manager,
+        seed=seed,
+        faults=len(injector.log),
+        mid_discovery_faults=injector.mid_discovery_faults,
+        discoveries=len(fm.history),
+        restarts=fm.counters["discovery_restarts"],
+        repairs=fm.counters["subtree_repairs"],
+        full_rediscoveries=sum(
+            1 for s in fm.history[1:] if s.algorithm != "partial"
+        ),
+        partial_bursts=sum(
+            1 for s in fm.history if s.algorithm == "partial"
+        ),
+        guard_probes=fm.counters["guard_probes"],
+        guard_mismatches=fm.counters["guard_mismatches"],
+        aborted_runs=sum(1 for s in fm.history if s.aborted),
+        time_to_converge=time_to_converge,
+        converged=database_matches_fabric(setup),
+        audit_ok=report.ok,
+        audit_differences=len(report.differences),
+        devices_found=len(fm.database),
+    )
+
+
+def sweep_churn(
+    spec: TopologySpec,
+    algorithms: Sequence[str] = ALGORITHMS,
+    seeds: Iterable[int] = (0,),
+    faults: int = DEFAULT_FAULTS,
+    mean_interval: float = DEFAULT_MEAN_INTERVAL,
+    manager: str = "full",
+    timing: Optional[ProcessingTimeModel] = None,
+    verify_sample: int = DEFAULT_VERIFY_SAMPLE,
+    workers: int = 1,
+    progress: Union[bool, None] = None,
+) -> List[ChurnResult]:
+    """Cross algorithms x seeds through the executor.
+
+    Results come back in job-submission order (algorithm-major, then
+    seed) — identical to a serial sweep.
+    """
+    # Imported late: executor.py imports this module at load time.
+    from .executor import churn_job, run_many
+
+    jobs = [
+        churn_job(
+            spec, algorithm, seed=seed, faults=faults,
+            mean_interval=mean_interval, manager=manager,
+            timing=timing, verify_sample=verify_sample,
+        )
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    report = run_many(jobs, workers=workers, progress=progress)
+    report.raise_if_failed()
+    return list(report.results)
+
+
+def summarize_churn(results: Sequence[ChurnResult]) -> List[dict]:
+    """Aggregate per (manager, algorithm): recovery work, convergence
+    latency, and the audit pass rate."""
+    groups: Dict[Tuple[str, str], List[ChurnResult]] = {}
+    for result in results:
+        groups.setdefault(
+            (result.manager, result.algorithm), []
+        ).append(result)
+    rows = []
+    for (manager, algorithm) in sorted(groups):
+        bucket = groups[(manager, algorithm)]
+        n = len(bucket)
+        rows.append({
+            "manager": manager,
+            "algorithm": algorithm,
+            "runs": n,
+            "mean_faults": sum(r.faults for r in bucket) / n,
+            "mean_mid_discovery": sum(
+                r.mid_discovery_faults for r in bucket
+            ) / n,
+            "mean_restarts": sum(r.restarts for r in bucket) / n,
+            "mean_repairs": sum(r.repairs for r in bucket) / n,
+            "mean_time_to_converge": sum(
+                r.time_to_converge for r in bucket
+            ) / n,
+            "aborted_runs": sum(r.aborted_runs for r in bucket),
+            "audit_pass_rate": sum(
+                1 for r in bucket if r.audit_ok
+            ) / n,
+            "all_converged": all(r.converged for r in bucket),
+        })
+    return rows
+
+
+def render_churn(rows: Sequence[dict], title: str = "") -> str:
+    """ASCII table of :func:`summarize_churn` rows."""
+    headers = ("manager", "algorithm", "runs", "mid-walk", "restarts",
+               "repairs", "t_converge", "aborted", "audit", "converged")
+    table = render_table(headers, [
+        (
+            row["manager"], row["algorithm"], row["runs"],
+            row["mean_mid_discovery"], row["mean_restarts"],
+            row["mean_repairs"], row["mean_time_to_converge"],
+            row["aborted_runs"], row["audit_pass_rate"],
+            row["all_converged"],
+        )
+        for row in rows
+    ])
+    return f"{title}\n{table}" if title else table

@@ -38,6 +38,7 @@ from .runner import run_change_experiment
 CHANGE = "change"
 INITIAL = "initial"
 RELIABILITY = "reliability"
+CHURN = "churn"
 
 #: Start methods tried for the worker pool, cheapest first.
 _START_METHODS = ("fork", "spawn", "forkserver")
@@ -72,6 +73,10 @@ class Job:
         here).
     max_retries:
         Optional per-request retry budget override.
+    options:
+        Optional kind-specific keyword arguments (plain picklable
+        dict; the ``"churn"`` kind carries its fault schedule and
+        manager selection here).
     tag:
         Opaque picklable caller bookkeeping, carried through untouched.
     """
@@ -84,6 +89,7 @@ class Job:
     timing: Optional[dict] = None
     params: Optional[dict] = None
     max_retries: Optional[int] = None
+    options: Optional[dict] = None
     tag: Any = None
 
     def describe(self) -> str:
@@ -96,6 +102,10 @@ class Job:
         elif self.kind == RELIABILITY:
             ber = (self.params or {}).get("bit_error_rate", 0.0)
             parts.append(f"ber={ber:g}")
+            parts.append(f"seed={self.seed}")
+        elif self.kind == CHURN:
+            manager = (self.options or {}).get("manager", "full")
+            parts.append(f"manager={manager}")
             parts.append(f"seed={self.seed}")
         return " ".join(parts)
 
@@ -161,6 +171,41 @@ def reliability_job(
                algorithm=algorithm, seed=seed,
                timing=_timing_document(timing), params=dict(params),
                max_retries=max_retries, tag=tag)
+
+
+def churn_job(
+    spec: Union[TopologySpec, dict],
+    algorithm: str,
+    seed: int = 0,
+    faults: Optional[int] = None,
+    mean_interval: Optional[float] = None,
+    manager: str = "full",
+    timing: Union[ProcessingTimeModel, dict, None] = None,
+    verify_sample: Optional[int] = None,
+    max_discovery_restarts: Optional[int] = None,
+    restart_backoff: Optional[float] = None,
+    tag: Any = None,
+) -> Job:
+    """Describe one mid-discovery churn soak run.
+
+    ``seed`` drives the fault schedule and the convergence-guard
+    sampling; ``manager`` selects the FM flavour (``"full"`` or
+    ``"partial"``).  ``None`` options fall back to the churn module's
+    defaults.
+    """
+    options = {"manager": manager}
+    for key, value in (
+        ("faults", faults),
+        ("mean_interval", mean_interval),
+        ("verify_sample", verify_sample),
+        ("max_discovery_restarts", max_discovery_restarts),
+        ("restart_backoff", restart_backoff),
+    ):
+        if value is not None:
+            options[key] = value
+    return Job(kind=CHURN, spec=_spec_document(spec), algorithm=algorithm,
+               seed=seed, timing=_timing_document(timing),
+               options=options, tag=tag)
 
 
 # -- outcomes -----------------------------------------------------------------
@@ -253,6 +298,13 @@ def _execute_job(job: Job):
         return run_reliability_experiment(
             spec, job.algorithm, params=params, seed=job.seed,
             timing=timing, max_retries=retries,
+        )
+    if job.kind == CHURN:
+        # Imported late: churn.py imports this module lazily too.
+        from .churn import run_churn_experiment
+        return run_churn_experiment(
+            spec, algorithm=job.algorithm, seed=job.seed, timing=timing,
+            **dict(job.options or {}),
         )
     raise ValueError(f"unknown job kind {job.kind!r}")
 

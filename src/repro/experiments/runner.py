@@ -40,6 +40,23 @@ class SimulationSetup:
     fm: FabricManager
 
 
+#: Manager kinds :func:`build_simulation` can instantiate.
+MANAGER_KINDS = ("full", "partial")
+
+
+def _manager_class(manager: str):
+    if manager == "full":
+        return FabricManager
+    if manager == "partial":
+        # Imported late: partial.py pulls in the whole discovery stack.
+        from ..manager.discovery.partial import PartialAssimilationManager
+        return PartialAssimilationManager
+    raise ValueError(
+        f"unknown manager kind {manager!r} (expected one of "
+        f"{MANAGER_KINDS})"
+    )
+
+
 def build_simulation(
     spec: TopologySpec,
     algorithm: str = PARALLEL,
@@ -47,10 +64,15 @@ def build_simulation(
     params: FabricParams = DEFAULT_PARAMS,
     fm_host: Optional[str] = None,
     power_up: bool = True,
+    manager: str = "full",
     **fm_kwargs,
 ) -> SimulationSetup:
     """Instantiate a topology with a management entity per device and a
     fabric manager on ``fm_host`` (default: the spec's designated host).
+
+    ``manager`` selects the FM flavour: ``"full"`` (every change is a
+    full rediscovery, the paper's assumption) or ``"partial"`` (the
+    burst-based partial change assimilation extension).
     """
     env = Environment()
     fabric = spec.build(env, params)
@@ -64,7 +86,7 @@ def build_simulation(
         for name, device in fabric.devices.items()
     }
     host = fm_host or spec.fm_host or spec.endpoints[0]
-    fm = FabricManager(
+    fm = _manager_class(manager)(
         fabric.device(host), entities[host],
         timing=timing, algorithm=algorithm, **fm_kwargs,
     )

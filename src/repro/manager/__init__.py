@@ -6,6 +6,12 @@ and the availability machinery (election, failover, path distribution,
 plus the future-work partial and collaborative discovery extensions).
 """
 
+from .consistency import (
+    ConsistencyReport,
+    Difference,
+    TopologyAuditor,
+    audit_topology,
+)
 from .database import DatabaseError, DeviceRecord, PortRecord, TopologyDatabase
 from .discovery import (
     ALGORITHM_CLASSES,
@@ -23,7 +29,7 @@ from .discovery.distributed import (
 from .discovery.partial import PartialAssimilationManager
 from .election import Candidacy, Election, ElectionAgent, ElectionResult
 from .failover import FailoverReport, StandbyManager
-from .fm import FabricManager
+from .fm import DiscoveryAborted, FabricManager
 from .path_distribution import DistributionStats, PathDistributor
 from .timing import (
     ALGORITHMS,
@@ -40,9 +46,14 @@ __all__ = [
     "ClaimingParallelDiscovery",
     "CollaborativeDiscovery",
     "CollaborativeStats",
+    "ConsistencyReport",
     "DatabaseError",
     "DeviceRecord",
+    "Difference",
+    "DiscoveryAborted",
     "DiscoveryStats",
+    "TopologyAuditor",
+    "audit_topology",
     "DistributionStats",
     "Election",
     "ElectionAgent",

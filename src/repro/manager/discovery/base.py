@@ -63,6 +63,20 @@ class DiscoveryStats:
     #: requests already retried to completion, or link-layer replays.
     stale_completions: int = 0
     abandoned_targets: int = 0
+    #: Mid-walk failures on an *already-claimed* branch: the request
+    #: that died had live evidence behind it (a parent whose port read
+    #: said "up", or a device whose record exists), so its subtree may
+    #: be silently incomplete.  The FM's restart/repair policy keys off
+    #: this (see :meth:`FabricManager._discovery_finished`).
+    suspect_subtrees: int = 0
+    #: Re-reads that returned a *different* device serial number than
+    #: the one previously recorded behind that parent port — a device
+    #: was swapped mid-walk.
+    serial_mismatches: int = 0
+    #: Set when the FM exhausted its restart budget and gave up on
+    #: reconciling this run's database with the fabric (the run still
+    #: terminated — this flag replaces hanging on the horizon timeout).
+    aborted: bool = False
     devices_found: int = 0
     #: ``(packet_number, fm_time)`` per completion processed at the FM —
     #: the Fig. 7(a) series.
@@ -98,6 +112,9 @@ class DiscoveryStats:
             "retries": self.retries,
             "stale_completions": self.stale_completions,
             "abandoned_targets": self.abandoned_targets,
+            "suspect_subtrees": self.suspect_subtrees,
+            "serial_mismatches": self.serial_mismatches,
+            "aborted": self.aborted,
         }
 
 
@@ -125,6 +142,12 @@ class DiscoveryAlgorithm:
         self.done_event = self.env.event()
         self._finished = False
         self._outstanding = 0
+        #: DSNs whose subtree may be incompletely explored because a
+        #: request into it died mid-walk (retries exhausted on a
+        #: claimed branch) or because a re-read found a different
+        #: serial number.  The FM inspects this set when the run
+        #: finishes and applies its bounded restart/repair policy.
+        self.suspect_roots: set = set()
 
     # -- lifecycle ------------------------------------------------------
     def start(self, trigger: str = "initial") -> None:
@@ -181,6 +204,13 @@ class DiscoveryAlgorithm:
             # Timed out or completion-with-error: the device vanished
             # mid-discovery (or the route went stale).  Abandon.
             self.stats.abandoned_targets += 1
+            if target.via_dsn is not None and target.via_dsn in self.db:
+                # Retries exhausted on an already-claimed branch: the
+                # parent's port read said something live was there, so
+                # the fabric changed under us and whatever hangs off
+                # this branch is now suspect.
+                self.stats.suspect_subtrees += 1
+                self.suspect_roots.add(target.via_dsn)
             self.on_device_done()
             self._maybe_finish()
             return
@@ -191,6 +221,18 @@ class DiscoveryAlgorithm:
             None if completion.arrival_port == pi4.NO_PORT
             else completion.arrival_port
         )
+
+        if target.via_dsn is not None and target.via_dsn in self.db:
+            # A re-read through a parent port that already recorded a
+            # neighbour must find the *same* device; a different serial
+            # number means the device was swapped mid-walk and any
+            # state learned through it is suspect.
+            known = self.db.device(target.via_dsn).ports.get(
+                target.via_port)
+            if (known is not None and known.neighbor_dsn is not None
+                    and known.neighbor_dsn != dsn):
+                self.stats.serial_mismatches += 1
+                self.suspect_roots.add(target.via_dsn)
 
         if dsn in self.db:
             # Reached through an alternate path (Fig. 2 decision box):
@@ -230,6 +272,11 @@ class DiscoveryAlgorithm:
                                                 pi4.ReadCompletion):
             port.up = False  # unknowable; treat as inactive
             self.stats.abandoned_targets += 1
+            # The device itself was claimed (its general read answered
+            # moments ago); losing a port read means the route to it
+            # broke mid-walk — everything behind it is suspect.
+            self.stats.suspect_subtrees += 1
+            self.suspect_roots.add(record.dsn)
         else:
             status = decode_port_status(completion.data[0])
             port.up = status["up"]

@@ -45,8 +45,11 @@ class _RegionExploration(ParallelDiscovery):
 
     def start_at(self, targets) -> None:
         """Begin at explicit targets instead of the FM endpoint."""
-        self.stats.trigger = "change"
-        self.stats.started_at = self.env.now
+        if self.stats.started_at is None:
+            # Aggregating into a burst's stats keeps the burst's own
+            # trigger ("change" or "repair") and start time.
+            self.stats.trigger = "change"
+            self.stats.started_at = self.env.now
         if not targets:
             self._finished = True
             self.stats.finished_at = self.env.now
@@ -74,6 +77,11 @@ class PartialAssimilationManager(FabricManager):
         #: ``(reporter_dsn, port)`` pairs already confirmed (or queued)
         #: in the current burst — also covers the synthetic checks below.
         self._burst_seen: set = set()
+        #: Suspect roots accumulated by this burst's region
+        #: explorations (mid-walk failures inside a region re-read);
+        #: fed to the bounded restart/repair policy when the burst
+        #: finishes.
+        self._burst_suspects: set = set()
 
     # -- cost model ---------------------------------------------------------
     def packet_cost(self, packet) -> float:
@@ -88,6 +96,9 @@ class PartialAssimilationManager(FabricManager):
         if not self._enabled:
             self.counters.incr("events_before_enable")
             return
+        # External change signal: reset the automatic-restart budget
+        # (mirrors FabricManager._handle_event).
+        self._restart_streak = 0
         if self.is_discovering:
             # Defer; FabricManager re-checks these against the fresh
             # database when the full run finishes.
@@ -268,6 +279,11 @@ class PartialAssimilationManager(FabricManager):
         ])
 
     def _region_done(self) -> None:
+        if self._region is not None:
+            # Mid-walk failures inside the region re-read leave the
+            # same silent holes a full walk can suffer; carry them to
+            # the burst-level repair policy.
+            self._burst_suspects |= self._region.suspect_roots
         self._region = None
         self._next_event()
 
@@ -280,29 +296,95 @@ class PartialAssimilationManager(FabricManager):
         self.history.append(stats)
         for callback in list(self.on_discovery_complete):
             callback(stats)
+        suspects, self._burst_suspects = self._burst_suspects, set()
+        if suspects:
+            if self._resolve_inconsistency(suspects, stats):
+                # A follow-up repair burst or full rediscovery will
+                # program the event routes once it converges.
+                return
+        else:
+            self._restart_streak = 0
         # Reprogram event routes: pruning/exploration may have changed
         # them for part of the fabric.  (Writes are idempotent.)
-        if self.program_event_routes:
-            from ...sim.events import Event
-
+        # Keep a still-pending ready_event (a repair burst rides on the
+        # preceding full run's ready) instead of orphaning its waiters.
+        if self.ready_event is None or self.ready_event.triggered:
             self.ready_event = self.env.event()
+        if self.program_event_routes:
             self.env.process(
                 self._program_event_routes(),
                 name=f"fm-routes:{self.endpoint.name}",
             )
         else:
-            self.ready_event = self.env.event()
             self.ready_event.succeed(stats)
+
+    # -- targeted subtree repair ---------------------------------------------
+    def _attempt_repair(self, suspects: set) -> bool:
+        """Re-explore suspect subtrees via the assimilation machinery.
+
+        Synthesizes an *up* event for every recorded-up, non-ingress
+        port of each suspect device and runs them as one burst: the
+        confirm read re-checks the reporter's liveness and port state,
+        the region exploration re-walks whatever hangs behind it, and
+        the existing fallback path escalates to a full rediscovery if
+        the reporter itself is gone.  Much cheaper than discarding the
+        whole database when only one branch is in doubt.
+        """
+        if self.is_discovering or self._burst_stats is not None:
+            return False
+        events = []
+        seen = set()
+        for dsn in sorted(suspects):
+            if dsn not in self.database:
+                continue
+            record = self.database.device(dsn)
+            for index in sorted(record.ports):
+                port = record.ports[index]
+                if port.up and index != record.ingress_port:
+                    events.append(pi5.PortEvent(
+                        reporter_dsn=dsn, port=index, up=True, seq=0,
+                    ))
+                    seen.add((dsn, index))
+        if not events:
+            return False
+        self._burst_seen = seen
+        self._event_queue.extend(events)
+        self._burst_stats = DiscoveryStats(
+            algorithm=PARTIAL, trigger="repair",
+            started_at=self.env.now,
+        )
+        self._next_event()
+        return True
 
     def _abort_burst_to_full(self) -> None:
         """Give up on partial assimilation; run a full discovery."""
         self._event_queue.clear()
         self._burst_seen = set()
+        self._burst_suspects = set()
         stats = self._burst_stats
         self._burst_stats = None
         if self._region is not None:
             self._region = None
         self._pending.clear()
+        if (stats.trigger == "repair"
+                and self._restart_streak >= self.max_discovery_restarts):
+            # A failed *repair* escalation is an automatic recovery
+            # action like any other: past the budget, surface the
+            # abort instead of launching yet another full walk.
+            stats.aborted = True
+            stats.finished_at = self.env.now
+            stats.devices_found = len(self.database)
+            self.counters.incr("discovery_aborted")
+            self.history.append(stats)
+            for callback in list(self.on_discovery_complete):
+                callback(stats)
+            if self.ready_event is None or self.ready_event.triggered:
+                self.ready_event = self.env.event()
+            self._finish_ready(stats)
+            return
+        if stats.trigger == "repair":
+            self._restart_streak += 1
+            self.counters.incr("discovery_restarts")
         full = self.start_discovery(trigger="change-fallback", force=True)
         # Carry the packets already spent into the full run's ledger.
         full.stats.requests_sent += stats.requests_sent

@@ -63,6 +63,9 @@ class StandbyManager:
         self.takeover_event: Event = self.env.event()
         self._proc = None
         self._detected_at: Optional[float] = None
+        self._stopping = False
+        #: The interval Timeout the monitor is currently sleeping on.
+        self._wait = None
 
     def start(self) -> None:
         """Begin monitoring the primary."""
@@ -72,11 +75,31 @@ class StandbyManager:
             self._monitor(), name=f"standby:{self.fm.endpoint.name}"
         )
 
+    def stop(self) -> None:
+        """Shut the standby down *now*.
+
+        The pending heartbeat-interval timeout is cancelled, so the
+        monitor stops immediately instead of waking once more (and
+        possibly sending one last heartbeat) up to a full interval
+        later.  A heartbeat already in flight is left to complete; its
+        reply is ignored.  Safe to call repeatedly, or after a
+        takeover.
+        """
+        self._stopping = True
+        if self._wait is not None and not self._wait.triggered:
+            # The monitor generator stays suspended on the cancelled
+            # event forever; it holds no simulation resources and
+            # schedules nothing further.
+            self.env.cancel(self._wait)
+            self._wait = None
+
     # -- monitoring loop ------------------------------------------------------
     def _monitor(self):
-        while not self.active:
-            yield self.env.timeout(self.heartbeat_interval)
-            if self.active:
+        while not self.active and not self._stopping:
+            self._wait = self.env.timeout(self.heartbeat_interval)
+            yield self._wait
+            self._wait = None
+            if self.active or self._stopping:
                 return
             reply_event = self.env.event()
             message = pi4.ReadRequest(
@@ -90,6 +113,8 @@ class StandbyManager:
                 ),
             )
             completion = yield reply_event
+            if self._stopping:
+                return
             if completion is None or not isinstance(completion,
                                                     pi4.ReadCompletion):
                 self.misses += 1

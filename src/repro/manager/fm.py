@@ -19,9 +19,16 @@ This class implements the management behaviour the paper studies:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from ..capability import EVENT_ROUTE_CAP_ID, EventRouteCapability
+from ..capability import (
+    BASELINE_CAP_ID,
+    EVENT_ROUTE_CAP_ID,
+    GENERAL_INFO_DWORDS,
+    EventRouteCapability,
+    decode_general_info,
+)
 from ..fabric.endpoint import Endpoint
 from ..fabric.packet import PI_DEVICE_MANAGEMENT, PI_EVENT, Packet
 from ..protocols import pi4, pi5
@@ -39,6 +46,16 @@ from .discovery.base import DiscoveryAlgorithm, DiscoveryStats
 from .timing import PARALLEL, ProcessingTimeModel
 
 
+class DiscoveryAborted(RuntimeError):
+    """The FM exhausted its restart budget without converging.
+
+    The discovery still *terminated* — its stats carry
+    ``aborted=True`` — so nothing hangs on the horizon timeout; this
+    exception exists for callers that want budget exhaustion to be
+    loud (see :func:`repro.experiments.churn.run_until_quiescent`).
+    """
+
+
 class FabricManager:
     """The primary fabric manager, hosted on ``endpoint``."""
 
@@ -50,7 +67,11 @@ class FabricManager:
                  program_event_routes: bool = True,
                  auto_start: bool = True,
                  arrival_clears_timeout: bool = True,
-                 parallel_window: Optional[int] = None):
+                 parallel_window: Optional[int] = None,
+                 max_discovery_restarts: int = 8,
+                 restart_backoff: float = 0.0,
+                 verify_sample: int = 0,
+                 verify_seed: int = 0):
         if not endpoint.fm_capable:
             raise ValueError(f"{endpoint.name} is not FM capable")
         self.endpoint = endpoint
@@ -68,6 +89,28 @@ class FabricManager:
         #: Optional bound on the Parallel algorithm's outstanding
         #: requests (None = unbounded, the paper's Fig. 3).
         self.parallel_window = parallel_window
+        #: Bounded restart/repair policy: at most this many consecutive
+        #: automatic restarts (suspect subtrees, unassimilated deferred
+        #: events, convergence-guard mismatches) before the FM gives up
+        #: and surfaces ``aborted`` in the run's stats.  A PI-5 event
+        #: or an explicit :meth:`start_discovery` resets the streak.
+        self.max_discovery_restarts = max_discovery_restarts
+        #: Base delay before an automatic restart; doubles with each
+        #: consecutive restart (0 = restart immediately, the historical
+        #: behaviour).
+        self.restart_backoff = restart_backoff
+        #: Post-discovery convergence guard: after a clean run, re-read
+        #: the general information of this many discovered devices (a
+        #: seeded sample) and trigger repair on any mismatch.  0
+        #: disables the guard (default — guard probes cost packets and
+        #: would perturb the paper-faithful measurements).
+        self.verify_sample = verify_sample
+        #: Seed for the guard's sample choice (combined with the run
+        #: index, so consecutive discoveries sample different devices).
+        self.verify_seed = verify_seed
+        #: Consecutive automatic restarts since the last clean
+        #: convergence or external trigger.
+        self._restart_streak = 0
         #: Whether the FM reacts to port events before any explicit
         #: discovery — with it on, fabric power-up triggers the initial
         #: discovery by itself ("the topology discovery process is
@@ -260,6 +303,9 @@ class FabricManager:
         if not self._enabled:
             self.counters.incr("events_before_enable")
             return
+        # An external change signal: the restart budget guards against
+        # *silent* divergence loops, not against real event streams.
+        self._restart_streak = 0
         if self.discovery is not None and not self.discovery.done:
             # The running discovery reads live port state, so it *may*
             # observe this change — unless it already passed through
@@ -322,13 +368,34 @@ class FabricManager:
         for callback in list(self.on_discovery_complete):
             callback(stats)
         deferred, self._deferred_events = self._deferred_events, []
-        if any(not self._event_assimilated(e) for e in deferred):
+        stale_deferred = any(
+            not self._event_assimilated(e) for e in deferred
+        )
+        suspects = (
+            set(self.discovery.suspect_roots)
+            if self.discovery is not None else set()
+        )
+        if stale_deferred or suspects:
             # A change arrived mid-run in a region the run had already
-            # covered: go again (event routes will be programmed by the
-            # final, quiescent run).
-            self.counters.incr("discovery_restarts")
-            self.start_discovery(trigger="change")
+            # covered, or a branch died under the walker: the database
+            # may be silently wrong.  Repair or go again — bounded
+            # (event routes will be programmed by the final run).
+            if self._resolve_inconsistency(suspects, stats):
+                return
+            # Budget exhausted: terminate with the abort surfaced in
+            # the stats instead of looping (or hanging a caller on the
+            # horizon timeout).
+        elif self.verify_sample > 0 and len(self.database) > 1:
+            # The streak resets only once the guard passes — a clean
+            # walk with failing guard probes is still divergence.
+            self._start_convergence_guard(stats)
             return
+        else:
+            self._restart_streak = 0
+        self._finish_ready(stats)
+
+    def _finish_ready(self, stats: DiscoveryStats) -> None:
+        """Program event routes (or trigger ready immediately)."""
         if self.program_event_routes:
             self.env.process(
                 self._program_event_routes(),
@@ -336,6 +403,118 @@ class FabricManager:
             )
         else:
             self.ready_event.succeed(stats)
+
+    # -- bounded restart / repair policy ------------------------------------
+    def _resolve_inconsistency(self, suspects: Iterable[int],
+                               stats: DiscoveryStats) -> bool:
+        """React to a possibly-divergent database after a run.
+
+        Prefers a targeted subtree repair (see the partial-assimilation
+        subclass), escalates to a full rediscovery, and gives up once
+        ``max_discovery_restarts`` consecutive automatic restarts have
+        not produced a clean run.  Returns ``True`` when repair or
+        restart was initiated (the caller must not finish the run);
+        ``False`` when the budget is exhausted — ``stats.aborted`` is
+        set and the caller finishes normally so nothing hangs.
+        """
+        if self._restart_streak >= self.max_discovery_restarts:
+            stats.aborted = True
+            self.counters.incr("discovery_aborted")
+            return False
+        # Repairs and restarts share the budget: every automatic
+        # recovery action consumes one slot, so a pathological fabric
+        # cannot alternate repair/restart forever.
+        self._restart_streak += 1
+        suspects = {dsn for dsn in suspects if dsn in self.database}
+        if suspects and self._attempt_repair(suspects):
+            self.counters.incr("subtree_repairs")
+            return True
+        self.counters.incr("discovery_restarts")
+        self._schedule_restart("restart")
+        return True
+
+    def _attempt_repair(self, suspects: set) -> bool:
+        """Repair suspect subtrees without a full rediscovery.
+
+        The base FM has no partial machinery — every discovery discards
+        the database — so it always escalates; the partial-assimilation
+        subclass overrides this with a targeted region re-exploration.
+        """
+        return False
+
+    def _schedule_restart(self, trigger: str) -> None:
+        """Start the next automatic rediscovery, after optional backoff."""
+        if self.restart_backoff <= 0:
+            self.start_discovery(trigger=trigger)
+            return
+        delay = self.restart_backoff * (2 ** (self._restart_streak - 1))
+        timer = self.env.timeout(delay)
+
+        def fire(_event) -> None:
+            # A PI-5 event may have kicked off a discovery during the
+            # backoff window; do not stack a second one.
+            if self.is_discovering or not self._enabled:
+                return
+            self.start_discovery(trigger=trigger)
+
+        timer.callbacks.append(fire)
+
+    # -- post-discovery convergence guard -----------------------------------
+    def _start_convergence_guard(self, stats: DiscoveryStats) -> None:
+        """Re-read a seeded sample of discovered devices.
+
+        A clean-looking run can still be stale if a change landed in a
+        region the walk had already covered *and* its PI-5 event was
+        lost.  The guard re-reads the general information of
+        ``verify_sample`` devices; a timeout or a serial-number
+        mismatch marks the device suspect and triggers the bounded
+        restart/repair policy.
+        """
+        candidates = sorted(
+            record.dsn for record in self.database.devices()
+            if record.ingress_port is not None
+        )
+        count = min(self.verify_sample, len(candidates))
+        if count == 0:
+            self._finish_ready(stats)
+            return
+        rng = random.Random((self.verify_seed << 16) ^ len(self.history))
+        sample = rng.sample(candidates, count)
+        self.counters.incr("guard_probes", count)
+        state = {"outstanding": count}
+        mismatched: set = set()
+
+        def on_reread(completion, dsn: int) -> None:
+            state["outstanding"] -= 1
+            ok = isinstance(completion, pi4.ReadCompletion)
+            if ok:
+                info = decode_general_info(list(completion.data))
+                ok = info["dsn"] == dsn
+            if not ok:
+                mismatched.add(dsn)
+            if state["outstanding"] == 0:
+                self._guard_settled(stats, mismatched)
+
+        for dsn in sample:
+            record = self.database.device(dsn)
+            message = pi4.ReadRequest(
+                cap_id=BASELINE_CAP_ID, offset=0, tag=0,
+                count=GENERAL_INFO_DWORDS,
+            )
+            self.send_request(
+                message, record.route(), record.out_port,
+                callback=on_reread, ctx=dsn,
+            )
+
+    def _guard_settled(self, stats: DiscoveryStats,
+                       mismatched: set) -> None:
+        if not mismatched:
+            self._restart_streak = 0
+            self._finish_ready(stats)
+            return
+        self.counters.incr("guard_mismatches", len(mismatched))
+        if not self._resolve_inconsistency(mismatched, stats):
+            self._finish_ready(stats)
 
     def _program_event_routes(self):
         """Write every device's route back to the FM (PI-4 writes)."""

@@ -27,6 +27,16 @@ class FaultEvent:
     time: float
     kind: str
     target: str
+    #: Whether the fault landed while the observed FM was mid-walk
+    #: (always False without a ``fm`` reference).
+    mid_discovery: bool = False
+
+
+def _fm_busy(fm) -> bool:
+    """Whether ``fm`` is currently walking or assimilating."""
+    return bool(
+        fm.is_discovering or getattr(fm, "is_assimilating", False)
+    )
 
 
 class FaultInjector:
@@ -39,25 +49,66 @@ class FaultInjector:
     mean_interval:
         Mean seconds between faults (exponentially distributed); keep
         it comfortably above the fabric's assimilation time if each
-        change should be absorbed before the next arrives.
+        change should be absorbed before the next arrives — or well
+        below it (plus ``during_discovery``) to study mid-discovery
+        churn.
     protect:
-        Device names never to remove (e.g. the FM host's attachment
-        switch).  Endpoints are never targeted.
+        Device names never to remove; links adjacent to a protected
+        device are never failed either, so churn cannot amputate it.
+        Protecting an *endpoint* (e.g. the FM host) extends the shield
+        to its attachment switches — the one fault class that could
+        silently cut the FM off.  Endpoints are never targeted.
     seed:
         Randomness seed (the full fault schedule is reproducible).
+    fm:
+        Fabric manager to observe for ``during_discovery`` mode (and
+        for the ``mid_discovery`` flag on logged faults).
+    during_discovery:
+        Chaos mode: after each inter-fault interval elapses, hold the
+        fault until the observed FM is mid-walk (checked every
+        ``poll_interval``), so changes land *while* discovery runs —
+        the overlap case the paper's one-change protocol never
+        exercises.  If no discovery starts within ``max_hold`` the
+        fault fires anyway (a fault is itself what provokes the next
+        discovery, so the first one may have to land on a quiet
+        fabric).
+    poll_interval:
+        Busy-poll granularity of ``during_discovery`` (default:
+        ``mean_interval / 8``).
+    max_hold:
+        Longest a fault is held waiting for a discovery (default:
+        ``20 * mean_interval``).
     """
 
     def __init__(self, fabric: Fabric, mean_interval: float = 30e-3,
                  protect: Optional[Sequence[str]] = None,
-                 seed: int = 0):
+                 seed: int = 0, fm=None,
+                 during_discovery: bool = False,
+                 poll_interval: Optional[float] = None,
+                 max_hold: Optional[float] = None):
         if mean_interval <= 0:
             raise ValueError("mean interval must be positive")
+        if during_discovery and fm is None:
+            raise ValueError("during_discovery mode needs an fm to observe")
         self.fabric = fabric
         self.env = fabric.env
         self.mean_interval = mean_interval
-        self.protect: Set[str] = set(protect or ())
+        self.protect: Set[str] = self._expand_protection(fabric, protect)
         self.rng = random.Random(seed)
+        self.fm = fm
+        self.during_discovery = during_discovery
+        self.poll_interval = (
+            poll_interval if poll_interval is not None
+            else mean_interval / 8
+        )
+        self.max_hold = (
+            max_hold if max_hold is not None else 20 * mean_interval
+        )
+        if self.poll_interval <= 0:
+            raise ValueError("poll interval must be positive")
         self.log: List[FaultEvent] = []
+        #: Faults that fired while the FM was mid-walk.
+        self.mid_discovery_faults = 0
         self._removed: List[str] = []
         self._failed_links: List[tuple] = []
         self._proc = None
@@ -65,6 +116,27 @@ class FaultInjector:
         self._done: Optional[Event] = None
         #: The Timeout the injector loop is currently sleeping on.
         self._wait = None
+
+    @staticmethod
+    def _expand_protection(fabric: Fabric,
+                           protect: Optional[Sequence[str]]) -> Set[str]:
+        """Protected set, widened so the shield actually holds.
+
+        A protected endpoint's attachment switches are protected too:
+        failing such a switch (or the link to it) would amputate the
+        endpoint exactly as removing it would — the scenario ``protect``
+        exists to prevent (the FM host must survive the soak).
+        """
+        expanded: Set[str] = set(protect or ())
+        for name in sorted(expanded):
+            device = fabric.devices.get(name)
+            if device is None or device.kind == "switch":
+                continue
+            for port in device.ports:
+                neighbor = port.neighbor()
+                if neighbor is not None:
+                    expanded.add(neighbor.device.name)
+        return expanded
 
     # -- schedule -----------------------------------------------------------
     def run(self, faults: int) -> Event:
@@ -85,6 +157,19 @@ class FaultInjector:
             self._wait = None
             if self._stopping:
                 break
+            if self.during_discovery and not _fm_busy(self.fm):
+                # Hold the fault until the FM is mid-walk (bounded, so
+                # a quiet fabric cannot stall the schedule forever).
+                held = 0.0
+                while held < self.max_hold and not _fm_busy(self.fm):
+                    self._wait = self.env.timeout(self.poll_interval)
+                    yield self._wait
+                    self._wait = None
+                    held += self.poll_interval
+                    if self._stopping:
+                        break
+                if self._stopping:
+                    break
             self._inject_one()
         if not done.triggered:
             done.succeed(list(self.log))
@@ -163,11 +248,13 @@ class FaultInjector:
             )
             self.fabric.restore_link(a, b)
             target = f"{a}<->{b}"
-        if kind in ("remove_switch", "restore_switch"):
-            pass
+        mid = self.fm is not None and _fm_busy(self.fm)
+        if mid:
+            self.mid_discovery_faults += 1
         self.log.append(FaultEvent(self.env.now, kind,
                                    target if isinstance(target, str)
-                                   else str(target)))
+                                   else str(target),
+                                   mid_discovery=mid))
 
     # -- introspection ----------------------------------------------------------
     def summary(self) -> dict:

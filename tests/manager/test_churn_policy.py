@@ -1,0 +1,201 @@
+"""Tests for the bounded restart/repair policy and convergence guard."""
+
+import pytest
+
+from repro.experiments.churn import run_until_quiescent
+from repro.experiments.runner import (
+    build_simulation,
+    database_matches_fabric,
+    run_until_ready,
+)
+from repro.manager import PARALLEL, DiscoveryAborted
+from repro.topology import make_mesh
+
+
+def remove_mid_walk(setup, victim):
+    """Kill ``victim`` the instant the walker claims it.
+
+    At that point its general-info read has answered but its port
+    reads are still ahead — they will all time out, which is exactly
+    the "retries exhausted on an already-claimed branch" failure class
+    the restart policy exists for.
+    """
+    env = setup.env
+    dsn = setup.fabric.device(victim).dsn
+    guard = 0
+    while dsn not in setup.fm.database and guard < 100_000:
+        env.step()
+        guard += 1
+    assert dsn in setup.fm.database, "walker never reached the victim"
+    setup.fabric.remove_device(victim)
+
+
+class TestSuspectClassification:
+    def test_mid_walk_death_marks_subtree_suspect(self):
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL)
+        remove_mid_walk(setup, "sw_2_2")
+        run_until_quiescent(setup)
+        first = setup.fm.history[0]
+        assert first.suspect_subtrees >= 1
+        assert not first.aborted
+
+    def test_policy_converges_within_budget(self):
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL)
+        remove_mid_walk(setup, "sw_2_2")
+        stats = run_until_quiescent(setup)
+        assert not stats.aborted
+        assert setup.fm.counters["discovery_restarts"] >= 1
+        assert setup.fm.counters["discovery_aborted"] == 0
+        assert database_matches_fabric(setup)
+
+    def test_stats_asdict_carries_new_fields(self):
+        setup = build_simulation(make_mesh(3, 3), algorithm=PARALLEL)
+        stats = run_until_ready(setup)
+        info = stats.asdict()
+        assert info["suspect_subtrees"] == 0
+        assert info["serial_mismatches"] == 0
+        assert info["aborted"] is False
+
+
+class TestBoundedRestarts:
+    def test_zero_budget_surfaces_abort_instead_of_hanging(self):
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL,
+                                 max_discovery_restarts=0)
+        remove_mid_walk(setup, "sw_2_2")
+        with pytest.raises(DiscoveryAborted):
+            run_until_quiescent(setup)
+        stats = setup.fm.history[-1]
+        assert stats.aborted
+        assert setup.fm.counters["discovery_aborted"] == 1
+        # The run still terminated: ready fired, nothing is in flight.
+        assert setup.fm.ready_event.triggered
+        assert not setup.fm.is_discovering
+
+    def test_raise_on_abort_false_returns_the_stats(self):
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL,
+                                 max_discovery_restarts=0)
+        remove_mid_walk(setup, "sw_2_2")
+        stats = run_until_quiescent(setup, raise_on_abort=False)
+        assert stats.aborted
+
+    def test_external_event_resets_the_streak(self):
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL)
+        remove_mid_walk(setup, "sw_2_2")
+        run_until_quiescent(setup)
+        assert setup.fm._restart_streak == 0
+        # A later, clean change assimilation starts from a full budget.
+        setup.fabric.restore_device("sw_2_2")
+        run_until_quiescent(setup)
+        assert database_matches_fabric(setup)
+        assert setup.fm._restart_streak == 0
+
+
+class TestRestartBackoff:
+    def test_backoff_delays_the_automatic_restart(self):
+        delay = 5e-3
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL,
+                                 restart_backoff=delay)
+        remove_mid_walk(setup, "sw_2_2")
+        run_until_quiescent(setup)
+        fm = setup.fm
+        assert len(fm.history) >= 2
+        # First automatic restart waits the base backoff (2**0 * delay).
+        gap = fm.history[1].started_at - fm.history[0].finished_at
+        assert gap >= delay
+        assert database_matches_fabric(setup)
+
+
+class TestConvergenceGuard:
+    def test_guard_probes_sampled_devices_after_clean_run(self):
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL,
+                                 verify_sample=3, verify_seed=7)
+        stats = run_until_ready(setup)
+        fm = setup.fm
+        assert fm.counters["guard_probes"] == 3
+        assert fm.counters["guard_mismatches"] == 0
+        assert not stats.aborted
+        assert fm._restart_streak == 0
+        assert database_matches_fabric(setup)
+
+    def test_guard_mismatch_triggers_bounded_restart(self):
+        setup = build_simulation(make_mesh(3, 3), algorithm=PARALLEL)
+        run_until_ready(setup)
+        fm = setup.fm
+        stats = fm.history[-1]
+        victim = next(
+            record.dsn for record in fm.database.devices()
+            if record.ingress_port is not None
+        )
+        fm._guard_settled(stats, {victim})
+        assert fm.counters["guard_mismatches"] == 1
+        # The mismatch consumed one budget slot and relaunched at once
+        # (no backoff configured).
+        assert fm._restart_streak == 1
+        assert fm.is_discovering
+        run_until_quiescent(setup)
+        assert database_matches_fabric(setup)
+
+    def test_guard_disabled_by_default(self):
+        setup = build_simulation(make_mesh(3, 3), algorithm=PARALLEL)
+        run_until_ready(setup)
+        assert setup.fm.counters["guard_probes"] == 0
+
+
+class TestPartialMidAssimilation:
+    def test_target_removed_mid_assimilation_recovers(self):
+        setup = build_simulation(make_mesh(4, 4), manager="partial")
+        run_until_ready(setup)
+        fm, env, fabric = setup.fm, setup.env, setup.fabric
+        victim = "sw_2_2"
+
+        fabric.remove_device(victim)
+        run_until_quiescent(setup)
+        assert database_matches_fabric(setup)
+
+        # Hot-add the switch back; step until the up-burst's region
+        # exploration is walking toward it, then yank it again.  The
+        # in-flight reads into the region die and the manager must
+        # repair or fall back to a full rediscovery — never hang.
+        fabric.restore_device(victim)
+        guard = 0
+        while fm._region is None and guard < 200_000:
+            env.step()
+            guard += 1
+        assert fm._region is not None, "region exploration never started"
+        fabric.remove_device(victim)
+
+        stats = run_until_quiescent(setup)
+        assert not stats.aborted
+        assert database_matches_fabric(setup)
+        # The recovery took at least one automatic action (repair
+        # burst, restart, or fallback full walk).
+        recovery = (
+            fm.counters["subtree_repairs"]
+            + fm.counters["discovery_restarts"]
+            + fm.counters["partial_fallbacks"]
+        )
+        assert recovery >= 1
+
+    def test_repair_prefers_partial_machinery(self):
+        # Force the repair path directly: mark a healthy subtree
+        # suspect after a converged run and let the policy resolve it.
+        setup = build_simulation(make_mesh(3, 3), manager="partial")
+        run_until_ready(setup)
+        fm = setup.fm
+        suspect = next(
+            record.dsn for record in fm.database.devices()
+            if record.ingress_port is not None
+            and any(
+                port.up and index != record.ingress_port
+                for index, port in record.ports.items()
+            )
+        )
+        assert fm._resolve_inconsistency({suspect}, fm.history[-1])
+        assert fm.is_assimilating  # a repair burst, not a full walk
+        assert fm.counters["subtree_repairs"] == 1
+        run_until_quiescent(setup)
+        assert database_matches_fabric(setup)
+        repair = next(
+            s for s in fm.history if s.trigger == "repair"
+        )
+        assert repair.algorithm == "partial"

@@ -1,0 +1,93 @@
+"""Tests for the topology consistency auditor."""
+
+from repro.manager.consistency import (
+    BAD_ROUTE,
+    MISSING_DEVICE,
+    PHANTOM_DEVICE,
+    PHANTOM_LINK,
+    STALE_PORT,
+    TopologyAuditor,
+    audit_topology,
+)
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.manager import PARALLEL
+from repro.topology import make_mesh, make_torus
+
+
+def ready_setup(spec, **kwargs):
+    setup = build_simulation(spec, algorithm=PARALLEL, **kwargs)
+    run_until_ready(setup)
+    return setup
+
+
+class TestCleanAudit:
+    def test_converged_database_audits_clean(self):
+        setup = ready_setup(make_mesh(4, 4))
+        report = audit_topology(setup.fabric, setup.fm)
+        assert report.ok
+        assert report.differences == []
+        assert report.devices_checked == len(setup.fm.database)
+        assert report.links_checked > 0
+        # Every non-FM record's route was replayed.
+        assert report.routes_checked == len(setup.fm.database) - 1
+        assert report.summary().startswith("consistent")
+        assert report.asdict()["ok"] is True
+
+    def test_torus_routes_replay_clean(self):
+        setup = ready_setup(make_torus(3, 3))
+        report = TopologyAuditor(setup.fabric, setup.fm).audit()
+        assert report.ok
+        assert report.routes_checked > 0
+
+
+class TestDivergenceDetection:
+    def test_dead_switch_makes_phantoms_and_bad_routes(self):
+        setup = ready_setup(make_mesh(3, 3))
+        # Kill a switch *without* letting the FM react: the database
+        # is now silently stale and the auditor must say so.
+        setup.fabric.remove_device("sw_1_1")
+        report = audit_topology(setup.fabric, setup.fm)
+        assert not report.ok
+        kinds = report.by_kind()
+        assert kinds.get(PHANTOM_DEVICE, 0) >= 1
+        # Some surviving record claims an up port toward the corpse,
+        # and at least one stored route crossed it.
+        assert kinds.get(STALE_PORT, 0) >= 1
+        assert kinds.get(BAD_ROUTE, 0) >= 1
+        assert "sw_1_1" in report.render()
+
+    def test_restored_switch_is_reported_missing(self):
+        spec = make_mesh(3, 3)
+        setup = build_simulation(spec, algorithm=PARALLEL)
+        # Discover a fabric with one switch absent, then bring it back:
+        # the ground truth now holds a device the database never saw.
+        setup.fabric.remove_device("sw_2_2")
+        run_until_ready(setup)
+        setup.fabric.restore_device("sw_2_2")
+        report = audit_topology(setup.fabric, setup.fm)
+        assert not report.ok
+        # The switch and the endpoint it reconnects are both missing.
+        missing = report.of_kind(MISSING_DEVICE)
+        assert len(missing) == 2
+        assert any("sw_2_2" in diff.subject for diff in missing)
+        assert report.by_kind() == {MISSING_DEVICE: 2}
+
+    def test_downed_link_is_a_phantom_link(self):
+        setup = ready_setup(make_mesh(3, 3))
+        setup.fabric.fail_link("sw_0_0", "sw_0_1")
+        report = audit_topology(setup.fabric, setup.fm)
+        assert not report.ok
+        kinds = report.by_kind()
+        # The database still records the edge and both endpoint ports
+        # as up; no device disappeared, so no device-level diffs.
+        assert kinds.get(PHANTOM_LINK, 0) == 1
+        assert kinds.get(STALE_PORT, 0) == 2
+        assert PHANTOM_DEVICE not in kinds
+        assert MISSING_DEVICE not in kinds
+
+    def test_report_reflects_reaudit_after_repair(self):
+        setup = ready_setup(make_mesh(3, 3))
+        setup.fabric.fail_link("sw_1_0", "sw_1_1")
+        assert not audit_topology(setup.fabric, setup.fm).ok
+        setup.fabric.restore_link("sw_1_0", "sw_1_1")
+        assert audit_topology(setup.fabric, setup.fm).ok

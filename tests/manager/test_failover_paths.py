@@ -125,3 +125,52 @@ class TestPathDistribution:
         src.inject(Packet(header=header), port_index=0)
         setup.env.run(until=setup.env.now + 1e-4)
         assert len(got) == 1
+
+
+class TestStandbyShutdown:
+    def test_stop_halts_heartbeats_promptly(self):
+        setup, standby = primary_and_standby(make_mesh(3, 3))
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+        standby.start()
+        setup.env.run(until=setup.env.now + 5e-3)
+        standby.stop()
+        sent = standby.heartbeats_sent
+        t_stop = setup.env.now
+        # The pending interval timeout was cancelled: draining the
+        # schedule sends no further heartbeat and never promotes.
+        setup.env.run()
+        assert standby.heartbeats_sent == sent
+        assert not standby.active
+        # Nothing standby-related outlived the stop by more than one
+        # in-flight heartbeat round trip.
+        assert setup.env.now < t_stop + standby.heartbeat_interval
+
+    def test_stop_is_idempotent_and_safe_before_start(self):
+        setup, standby = primary_and_standby(make_mesh(3, 3))
+        standby.stop()  # never started: no-op
+        standby.stop()
+        assert standby._proc is None
+        setup2, standby2 = primary_and_standby(make_mesh(3, 3))
+        setup2.fm.start_discovery()
+        run_until_ready(setup2)
+        standby2.start()
+        setup2.env.run(until=setup2.env.now + 3e-3)
+        standby2.stop()
+        standby2.stop()  # repeated stop must not raise
+        setup2.env.run()
+        assert not standby2.active
+
+    def test_stop_wins_against_a_dead_primary(self):
+        setup, standby = primary_and_standby(make_mesh(3, 3))
+        setup.fm.start_discovery()
+        run_until_ready(setup)
+        standby.start()
+        setup.env.run(until=setup.env.now + 5e-3)
+        # Primary dies; before the miss threshold trips, operations
+        # shuts the standby down (e.g. planned maintenance).
+        setup.fabric.remove_device(setup.fm.endpoint.name)
+        standby.stop()
+        setup.env.run()
+        assert not standby.active
+        assert not standby.takeover_event.triggered

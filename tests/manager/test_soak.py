@@ -175,3 +175,76 @@ class TestSoakPartialAssimilation:
         # Partial assimilation actually carried (some of) the load.
         partials = [s for s in fm.history if s.algorithm == "partial"]
         assert partials
+
+
+class TestProtectionExpansion:
+    def test_protected_endpoint_shields_attachment_switch(self):
+        setup = build_simulation(make_mesh(3, 3), auto_start=False)
+        attach = fm_attachment_switch(setup)
+        injector = FaultInjector(
+            setup.fabric, mean_interval=2e-3,
+            protect={setup.fm.endpoint.name}, seed=9,
+        )
+        # The endpoint's attachment switch inherits the protection.
+        assert attach in injector.protect
+        done = injector.run(faults=25)
+        log = setup.env.run(until=done)
+        assert log
+        for event in log:
+            if event.kind in ("remove_switch", "restore_switch"):
+                assert event.target != attach
+            else:
+                assert attach not in event.target.split("<->")
+
+    def test_protecting_a_switch_shields_its_links(self):
+        setup = build_simulation(make_mesh(3, 3), auto_start=False)
+        injector = FaultInjector(
+            setup.fabric, mean_interval=2e-3, protect={"sw_1_1"}, seed=4,
+        )
+        done = injector.run(faults=25)
+        log = setup.env.run(until=done)
+        flapped = [
+            e.target for e in log if e.kind in ("fail_link", "restore_link")
+        ]
+        assert flapped  # churn did exercise links...
+        for target in flapped:
+            assert "sw_1_1" not in target.split("<->")  # ...never these
+
+
+class TestDuringDiscoveryMode:
+    def test_requires_an_fm_to_observe(self):
+        setup = build_simulation(make_mesh(2, 2), auto_start=False)
+        with pytest.raises(ValueError):
+            FaultInjector(setup.fabric, during_discovery=True)
+
+    def test_faults_land_mid_discovery(self):
+        setup = build_simulation(make_mesh(4, 4), algorithm=PARALLEL)
+        run_until_ready(setup)
+        injector = FaultInjector(
+            setup.fabric, mean_interval=2e-3,
+            protect={setup.fm.endpoint.name}, seed=0,
+            fm=setup.fm, during_discovery=True,
+        )
+        done = injector.run(faults=6)
+        setup.env.run(until=done)
+        assert len(injector.log) == 6
+        assert injector.mid_discovery_faults >= 1
+        assert injector.mid_discovery_faults == sum(
+            1 for e in injector.log if e.mid_discovery
+        )
+        settle(setup)
+
+    def test_hold_is_bounded_on_a_quiet_fabric(self):
+        # The first fault finds a quiet, settled fabric — there is no
+        # walk to overlap until a fault provokes one.  max_hold must
+        # bound that wait so the schedule always completes.
+        setup = build_simulation(make_mesh(2, 2), algorithm=PARALLEL)
+        run_until_ready(setup)
+        injector = FaultInjector(
+            setup.fabric, mean_interval=1e-3,
+            protect={setup.fm.endpoint.name}, seed=1,
+            fm=setup.fm, during_discovery=True, max_hold=4e-3,
+        )
+        done = injector.run(faults=3)
+        setup.env.run(until=done)
+        assert len(injector.log) == 3
