@@ -34,12 +34,11 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.experiments.bench_report import record_run, render_entry
-from repro.experiments.runner import run_change_experiment
+from repro.experiments.scenario import Scenario
 from repro.fabric.fabric import Fabric
 from repro.fabric.packet import PI_APPLICATION, Packet
 from repro.routing.paths import fabric_endpoint_routes
 from repro.sim.core import Environment
-from repro.topology.table1 import table1_topology
 
 REPORT_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
 
@@ -157,11 +156,11 @@ def bench_relay(n_packets: int, payload_bytes: int = 64) -> float:
 def bench_fig6_mesh(topology: str, repeat: int) -> float:
     """Best-of-``repeat`` wall time of one Fig. 6 change experiment."""
     best = float("inf")
+    scenario = Scenario(kind="change", topology=topology,
+                        algorithm="parallel", seed=0)
     for _ in range(repeat):
         t0 = time.perf_counter()
-        result = run_change_experiment(
-            table1_topology(topology), algorithm="parallel", seed=0,
-        )
+        result = scenario.run()
         elapsed = time.perf_counter() - t0
         if not result.database_correct:
             raise AssertionError("fig-6 bench run produced a wrong database")

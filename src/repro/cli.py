@@ -18,15 +18,27 @@ Commands
     Soak discovery under mid-walk topology churn (seeded fault bursts
     preferring mid-discovery instants) and report the recovery work,
     time to converge, and the consistency auditor's verdict.
+``trace``
+    Run one traced scenario and export its span/packet timeline as a
+    Chrome-trace JSON (load it in ``chrome://tracing`` or Perfetto),
+    printing the per-phase discovery-time breakdown.
 ``list``
-    List the available topologies and algorithms.
+    List the available topologies, aliases, algorithms, and managers.
+
+Flags are uniform across the experiment commands: ``--topology``
+accepts Table 1 names or shell-friendly aliases (``mesh16``),
+``--manager`` selects the FM flavour (``full``/``partial``) or — as a
+shorthand — a discovery algorithm key (``--manager serial_device`` ==
+``--manager full --algorithm serial_device``), ``--seed``/``--seeds``/
+``--jobs`` shape a sweep, and ``--trace PATH`` additionally runs one
+traced representative scenario in-process and exports its timeline.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .experiments.figures import (
     figure4,
@@ -43,21 +55,110 @@ from .experiments.churn import (
     summarize_churn,
     sweep_churn,
 )
-from .experiments.executor import change_job, run_many
+from .experiments.executor import run_many
 from .experiments.reliability import (
     DEFAULT_BIT_ERROR_RATES,
     render_reliability,
     summarize_reliability,
     sweep_reliability,
 )
-from .experiments.report import render_kv
-from .experiments.runner import (
-    build_simulation,
-    database_matches_fabric,
-    run_until_ready,
-)
+from .experiments.report import render_kv, render_phase_breakdown
+from .experiments.scenario import Scenario
 from .manager.timing import ALGORITHMS, PARALLEL, ProcessingTimeModel
-from .topology.table1 import TABLE1_NAMES, table1_topology
+from .topology.table1 import ALIASES, TABLE1_NAMES, canonical_name
+
+#: ``--manager`` accepts the FM flavours plus, as a shorthand, the
+#: algorithm keys (resolved by :func:`resolve_variant`).
+MANAGER_CHOICES = ("full", "partial") + tuple(ALGORITHMS)
+
+
+def resolve_variant(manager: str, algorithm: str) -> Tuple[str, str]:
+    """Resolve ``(--manager, --algorithm)`` to ``(manager, algorithm)``.
+
+    ``--manager`` given as an algorithm key means "the full FM running
+    that algorithm" and overrides ``--algorithm``.
+    """
+    if manager in ALGORITHMS:
+        return "full", manager
+    return manager, algorithm
+
+
+def _topology_arg(value: str) -> str:
+    """Argparse type: a Table 1 topology name or alias."""
+    try:
+        return canonical_name(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+# -- shared parent parsers ----------------------------------------------------
+
+def _topology_parent(default: str) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--topology", type=_topology_arg, default=default, metavar="NAME",
+        help=f"Table 1 topology name or alias, e.g. mesh16 "
+             f"(default {default!r})",
+    )
+    return parent
+
+
+def _algorithm_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--algorithm", default=PARALLEL,
+                        choices=list(ALGORITHMS))
+    return parent
+
+
+def _algorithms_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--algorithm", action="append", default=None,
+                        choices=list(ALGORITHMS), dest="algorithms",
+                        help="algorithm to sweep (repeatable; "
+                             "default: all three)")
+    return parent
+
+
+def _manager_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--manager", default="full", choices=MANAGER_CHOICES,
+        help="FM flavour (full/partial), or an algorithm key as "
+             "shorthand for the full FM running that algorithm "
+             "(default full)",
+    )
+    return parent
+
+
+def _sweep_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0)
+    parent.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="run seeds seed..seed+N-1 (default 1)")
+    parent.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = in-process)")
+    return parent
+
+
+def _trace_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="additionally run one traced representative scenario "
+             "in-process and export its timeline as Chrome-trace JSON",
+    )
+    return parent
+
+
+def _profile_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--profile", type=int, nargs="?", const=20, default=None,
+        metavar="N",
+        help="run under cProfile and dump the top N functions by "
+             "internal time to stderr (default 20)",
+    )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,38 +172,30 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="print Table 1")
     sub.add_parser("list", help="list topologies and algorithms")
 
-    discover = sub.add_parser("discover", help="run one discovery")
-    discover.add_argument("--topology", default="3x3 mesh",
-                          choices=TABLE1_NAMES, metavar="NAME")
-    discover.add_argument("--algorithm", default=PARALLEL,
-                          choices=list(ALGORITHMS))
+    discover = sub.add_parser(
+        "discover", help="run one discovery",
+        parents=[_topology_parent("3x3 mesh"), _algorithm_parent(),
+                 _manager_parent(), _sweep_parent(), _trace_parent(),
+                 _profile_parent()],
+    )
     discover.add_argument("--fm-factor", type=float, default=1.0)
     discover.add_argument("--device-factor", type=float, default=1.0)
-    _add_profile_flag(discover)
 
-    change = sub.add_parser("change", help="change-assimilation experiment")
-    change.add_argument("--topology", default="4x4 mesh",
-                        choices=TABLE1_NAMES, metavar="NAME")
-    change.add_argument("--algorithm", default=PARALLEL,
-                        choices=list(ALGORITHMS))
+    change = sub.add_parser(
+        "change", help="change-assimilation experiment",
+        parents=[_topology_parent("4x4 mesh"), _algorithm_parent(),
+                 _manager_parent(), _sweep_parent(), _trace_parent(),
+                 _profile_parent()],
+    )
     change.add_argument("--kind", default="remove_switch",
                         choices=("remove_switch", "add_switch"))
-    change.add_argument("--seed", type=int, default=0)
-    change.add_argument("--seeds", type=int, default=1, metavar="N",
-                        help="run seeds seed..seed+N-1 (default 1)")
-    change.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes (1 = in-process)")
-    _add_profile_flag(change)
 
     reliability = sub.add_parser(
         "reliability", help="discovery-under-loss sweep",
+        parents=[_topology_parent("3x3 mesh"), _algorithms_parent(),
+                 _manager_parent(), _sweep_parent(), _trace_parent(),
+                 _profile_parent()],
     )
-    reliability.add_argument("--topology", default="3x3 mesh",
-                             choices=TABLE1_NAMES, metavar="NAME")
-    reliability.add_argument("--algorithm", action="append", default=None,
-                             choices=list(ALGORITHMS), dest="algorithms",
-                             help="algorithm to sweep (repeatable; "
-                                  "default: all three)")
     reliability.add_argument("--ber", action="append", type=float,
                              default=None, dest="bers", metavar="RATE",
                              help="bit error rate to sweep (repeatable; "
@@ -111,27 +204,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                           f"{r:g}"
                                           for r in DEFAULT_BIT_ERROR_RATES
                                       )))
-    reliability.add_argument("--seed", type=int, default=0)
-    reliability.add_argument("--seeds", type=int, default=1, metavar="N",
-                             help="error-model seeds seed..seed+N-1 "
-                                  "(default 1)")
-    reliability.add_argument("--jobs", type=int, default=1, metavar="N",
-                             help="worker processes (1 = in-process)")
-    _add_profile_flag(reliability)
 
     churn = sub.add_parser(
         "churn", help="mid-discovery churn soak",
+        parents=[_topology_parent("4x4 mesh"), _algorithms_parent(),
+                 _manager_parent(), _sweep_parent(), _trace_parent(),
+                 _profile_parent()],
     )
-    churn.add_argument("--topology", default="4x4 mesh",
-                       choices=TABLE1_NAMES, metavar="NAME")
-    churn.add_argument("--algorithm", action="append", default=None,
-                       choices=list(ALGORITHMS), dest="algorithms",
-                       help="algorithm to sweep (repeatable; "
-                            "default: all three)")
-    churn.add_argument("--manager", default="full",
-                       choices=("full", "partial"),
-                       help="FM flavour: full rediscovery per change "
-                            "or partial assimilation (default full)")
     churn.add_argument("--faults", type=int, default=DEFAULT_FAULTS,
                        help="faults injected per run (default "
                             f"{DEFAULT_FAULTS})")
@@ -139,32 +218,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_MEAN_INTERVAL, metavar="SECONDS",
                        help="mean seconds between faults (default "
                             f"{DEFAULT_MEAN_INTERVAL:g})")
-    churn.add_argument("--seed", type=int, default=0)
-    churn.add_argument("--seeds", type=int, default=1, metavar="N",
-                       help="fault-schedule seeds seed..seed+N-1 "
-                            "(default 1)")
-    churn.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker processes (1 = in-process)")
-    _add_profile_flag(churn)
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    trace = sub.add_parser(
+        "trace", help="run one traced scenario, export its timeline",
+        parents=[_topology_parent("4x4 mesh"), _algorithm_parent(),
+                 _manager_parent(), _profile_parent()],
+    )
+    trace.add_argument("--kind", default="discover",
+                       choices=("discover", "change", "reliability",
+                                "churn"))
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", metavar="PATH", required=True,
+                       help="Chrome-trace JSON output path")
+    trace.add_argument("--jsonl", metavar="PATH", default=None,
+                       help="additionally export a JSONL event stream")
+    trace.add_argument("--no-packets", action="store_true",
+                       help="skip per-hop packet capture (spans and "
+                            "metrics only; much smaller traces)")
+
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure",
+        parents=[_manager_parent(), _trace_parent(), _profile_parent()],
+    )
     figure.add_argument("number", choices=("4", "6", "7", "8", "9"))
     figure.add_argument("--quick", action="store_true",
                         help="use reduced topology suites")
+    figure.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="seeds per topology for figures 6/9 "
+                             "(default 1)")
     figure.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the underlying sweep "
                              "(1 = in-process; figure 7 is always serial)")
-    _add_profile_flag(figure)
     return parser
-
-
-def _add_profile_flag(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument(
-        "--profile", type=int, nargs="?", const=20, default=None,
-        metavar="N",
-        help="run under cProfile and dump the top N functions by "
-             "internal time to stderr (default 20)",
-    )
 
 
 def _run_profiled(fn, top: int) -> int:
@@ -186,57 +271,156 @@ def _run_profiled(fn, top: int) -> int:
     return code
 
 
-def _cmd_table1() -> int:
+# -- trace export -------------------------------------------------------------
+
+def _export_trace(scenario: Scenario, out: str,
+                  jsonl: Optional[str] = None,
+                  packets: bool = True) -> int:
+    """Run ``scenario`` traced; export and summarize the timeline."""
+    from .obs import (
+        TraceSession,
+        discovery_phase_breakdown,
+        discovery_spans,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    session = TraceSession(packets=packets)
+    scenario.run(tracer=session)
+    label = f"{session.meta.get('topology', '?')} [{scenario.kind}]"
+    document = write_chrome_trace(session, out, label=label)
+    schema_problems = validate_chrome_trace(document)
+    tree_problems = session.spans.validate()
+    rows = [
+        discovery_phase_breakdown(session.spans, span)
+        for span in discovery_spans(session.spans)
+        if span.end is not None
+    ]
+    if rows:
+        print(render_phase_breakdown(
+            rows, title=f"Discovery-time breakdown ({label})",
+        ))
+    hops = len(session.packets) if session.packets is not None else 0
+    print(render_kv("Trace export", {
+        "out": out,
+        "spans": len(session.spans.spans),
+        "instants": len(session.spans.instants),
+        "packet_hops": hops,
+        "unfinished_spans": session.meta.get("unfinished_spans", 0),
+        "span_tree_ok": not tree_problems,
+        "chrome_schema_ok": not schema_problems,
+    }))
+    for problem in (tree_problems + schema_problems)[:10]:
+        print(f"  problem: {problem}", file=sys.stderr)
+    if jsonl:
+        lines = write_jsonl(session, jsonl, label=label)
+        print(f"  jsonl: {jsonl} ({lines} records)")
+    return 0 if not (tree_problems or schema_problems) else 1
+
+
+def _representative(args, kind: str, algorithm: str,
+                    **extra) -> Scenario:
+    """The single traced scenario a ``--trace PATH`` flag runs."""
+    manager, algorithm = resolve_variant(
+        getattr(args, "manager", "full"), algorithm
+    )
+    return Scenario(
+        kind=kind, topology=args.topology, algorithm=algorithm,
+        manager=manager, seed=getattr(args, "seed", 0), **extra,
+    )
+
+
+# -- commands -----------------------------------------------------------------
+
+def _cmd_table1(args) -> int:
     _rows, text = figure_table1()
     print(text)
     return 0
 
 
-def _cmd_list() -> int:
+def _cmd_list(args) -> int:
     print("Topologies (Table 1):")
+    reverse = {name: alias for alias, name in ALIASES.items()}
     for name in TABLE1_NAMES:
-        print(f"  {name}")
+        alias = reverse.get(name)
+        suffix = f"  (alias: {alias})" if alias else ""
+        print(f"  {name}{suffix}")
     print("\nDiscovery algorithms:")
     for algorithm in ALGORITHMS:
         print(f"  {algorithm}")
+    print("\nManagers:")
+    print("  full     (every change is a full rediscovery)")
+    print("  partial  (burst-based partial change assimilation)")
     return 0
 
 
 def _cmd_discover(args) -> int:
+    manager, algorithm = resolve_variant(args.manager, args.algorithm)
     timing = ProcessingTimeModel(fm_factor=args.fm_factor,
                                  device_factor=args.device_factor)
-    spec = table1_topology(args.topology)
-    setup = build_simulation(spec, algorithm=args.algorithm,
-                             timing=timing, auto_start=False)
-    setup.fm.start_discovery()
-    stats = run_until_ready(setup)
-    info = stats.asdict()
-    info["database_correct"] = database_matches_fabric(setup)
-    info["mean_fm_time"] = setup.fm.mean_processing_time()
-    print(render_kv(f"Discovery of {spec.name} [{args.algorithm}]", info))
-    return 0 if info["database_correct"] else 1
+    seeds = range(args.seed, args.seed + max(1, args.seeds))
+    scenarios = [
+        Scenario(kind="discover", topology=args.topology,
+                 algorithm=algorithm, manager=manager, seed=seed,
+                 timing=timing)
+        for seed in seeds
+    ]
+    report = run_many([sc.job() for sc in scenarios], workers=args.jobs,
+                      progress=len(scenarios) > 1)
+    report.raise_if_failed()
+    for seed, stats in zip(seeds, report.results):
+        info = stats.asdict()
+        info["mean_fm_time"] = stats.mean_fm_time
+        info["database_correct"] = stats.database_correct
+        print(render_kv(
+            f"Discovery of {args.topology} [{algorithm}] (seed {seed})",
+            info,
+        ))
+    if args.trace:
+        code = _export_trace(
+            _representative(args, "discover", args.algorithm,
+                            timing=timing),
+            args.trace,
+        )
+        if code != 0:
+            return code
+    return 0 if all(s.database_correct for s in report.results) else 1
 
 
 def _cmd_change(args) -> int:
-    spec = table1_topology(args.topology)
+    manager, algorithm = resolve_variant(args.manager, args.algorithm)
     jobs = [
-        change_job(spec, args.algorithm, seed=seed, change=args.kind)
+        Scenario(kind="change", topology=args.topology,
+                 algorithm=algorithm, manager=manager, seed=seed,
+                 change=args.kind).job()
         for seed in range(args.seed, args.seed + max(1, args.seeds))
     ]
     report = run_many(jobs, workers=args.jobs, progress=len(jobs) > 1)
     report.raise_if_failed()
     for result in report.results:
         print(render_kv(
-            f"Change assimilation on {args.topology} [{args.algorithm}] "
+            f"Change assimilation on {args.topology} [{algorithm}] "
             f"(seed {result.seed})",
             result.asdict(),
         ))
+    if args.trace:
+        code = _export_trace(
+            _representative(args, "change", args.algorithm,
+                            change=args.kind),
+            args.trace,
+        )
+        if code != 0:
+            return code
     return 0 if all(r.database_correct for r in report.results) else 1
 
 
 def _cmd_reliability(args) -> int:
+    from .topology.table1 import table1_topology
+    manager, _ = resolve_variant(args.manager, PARALLEL)
     spec = table1_topology(args.topology)
     algorithms = args.algorithms or list(ALGORITHMS)
+    if args.manager in ALGORITHMS:
+        algorithms = [args.manager]
     bers = args.bers if args.bers is not None else DEFAULT_BIT_ERROR_RATES
     seeds = range(args.seed, args.seed + max(1, args.seeds))
     results = sweep_reliability(
@@ -248,16 +432,31 @@ def _cmd_reliability(args) -> int:
         rows, title=f"Discovery under loss on {spec.name} "
                     f"({len(results)} runs)",
     ))
+    if args.trace:
+        from dataclasses import replace as _replace
+        from .fabric.params import DEFAULT_PARAMS
+        params = _replace(DEFAULT_PARAMS, bit_error_rate=max(bers))
+        code = _export_trace(
+            _representative(args, "reliability", algorithms[0],
+                            params=params.to_dict()),
+            args.trace,
+        )
+        if code != 0:
+            return code
     return 0 if all(r.database_correct for r in results) else 1
 
 
 def _cmd_churn(args) -> int:
+    from .topology.table1 import table1_topology
+    manager, _ = resolve_variant(args.manager, PARALLEL)
     spec = table1_topology(args.topology)
     algorithms = args.algorithms or list(ALGORITHMS)
+    if args.manager in ALGORITHMS:
+        algorithms = [args.manager]
     seeds = range(args.seed, args.seed + max(1, args.seeds))
     results = sweep_churn(
         spec, algorithms=algorithms, seeds=seeds, faults=args.faults,
-        mean_interval=args.mean_interval, manager=args.manager,
+        mean_interval=args.mean_interval, manager=manager,
         workers=args.jobs,
     )
     rows = summarize_churn(results)
@@ -265,19 +464,40 @@ def _cmd_churn(args) -> int:
         rows, title=f"Mid-discovery churn soak on {spec.name} "
                     f"({len(results)} runs, {args.faults} faults each)",
     ))
+    if args.trace:
+        code = _export_trace(
+            _representative(args, "churn", algorithms[0],
+                            faults=args.faults,
+                            mean_interval=args.mean_interval),
+            args.trace,
+        )
+        if code != 0:
+            return code
     return 0 if all(r.converged and r.audit_ok for r in results) else 1
 
 
+def _cmd_trace(args) -> int:
+    manager, algorithm = resolve_variant(args.manager, args.algorithm)
+    scenario = Scenario(
+        kind=args.kind, topology=args.topology, algorithm=algorithm,
+        manager=manager, seed=args.seed,
+    )
+    return _export_trace(scenario, args.out, jsonl=args.jsonl,
+                         packets=not args.no_packets)
+
+
 def _cmd_figure(args) -> int:
+    from .topology.table1 import table1_topology
     quick_suite = None
     if args.quick:
         quick_suite = [
             table1_topology(n) for n in ("3x3 mesh", "4x4 mesh")
         ]
+    seeds = range(max(1, args.seeds))
     if args.number == "4":
         _data, text = figure4(topologies=quick_suite, jobs=args.jobs)
     elif args.number == "6":
-        _data, text = figure6(topologies=quick_suite, seeds=range(1),
+        _data, text = figure6(topologies=quick_suite, seeds=seeds,
                               jobs=args.jobs)
     elif args.number == "7":
         _data, text = figure7()
@@ -285,30 +505,37 @@ def _cmd_figure(args) -> int:
         spec = table1_topology("4x4 mesh" if args.quick else "8x8 mesh")
         _data, text = figure8(spec=spec, jobs=args.jobs)
     else:
-        _data, text = figure9(topologies=quick_suite, seeds=range(1),
+        _data, text = figure9(topologies=quick_suite, seeds=seeds,
                               jobs=args.jobs)
     print(text)
+    if args.trace:
+        manager, algorithm = resolve_variant(args.manager, PARALLEL)
+        scenario = Scenario(
+            kind="discover",
+            topology="4x4 mesh" if args.quick else "8x8 mesh",
+            algorithm=algorithm, manager=manager,
+        )
+        return _export_trace(scenario, args.trace)
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "table1":
-        return _cmd_table1()
-    if args.command == "list":
-        return _cmd_list()
     commands = {
+        "table1": _cmd_table1,
+        "list": _cmd_list,
         "discover": _cmd_discover,
         "change": _cmd_change,
         "churn": _cmd_churn,
         "figure": _cmd_figure,
         "reliability": _cmd_reliability,
+        "trace": _cmd_trace,
     }
     command = commands.get(args.command)
     if command is None:
         raise AssertionError(f"unhandled command {args.command!r}")
-    if args.profile is not None:
+    if getattr(args, "profile", None) is not None:
         return _run_profiled(lambda: command(args), args.profile)
     return command(args)
 

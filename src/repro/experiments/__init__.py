@@ -30,7 +30,8 @@ from .reliability import (
     summarize_reliability,
     sweep_reliability,
 )
-from .report import render_kv, render_series, render_table
+from .report import render_kv, render_phase_breakdown, render_series, \
+    render_table
 from .runner import (
     ExperimentResult,
     SimulationSetup,
@@ -40,6 +41,7 @@ from .runner import (
     run_until_discovery_count,
     run_until_ready,
 )
+from .scenario import Scenario, run_scenario
 from .sweep import (
     DEVICE_FACTORS,
     FM_FACTORS,
@@ -77,9 +79,12 @@ __all__ = [
     "load_results",
     "load_spec",
     "render_kv",
+    "render_phase_breakdown",
     "render_plot",
     "render_series",
     "render_table",
+    "Scenario",
+    "run_scenario",
     "save_results",
     "save_spec",
     "ExperimentResult",

@@ -184,6 +184,7 @@ def run_churn_experiment(
     verify_sample: int = DEFAULT_VERIFY_SAMPLE,
     max_discovery_restarts: int = 8,
     restart_backoff: float = 0.0,
+    tracer=None,
 ) -> ChurnResult:
     """One churn soak: settle, inject ``faults`` mid-walk changes,
     run to quiescence, audit.
@@ -199,6 +200,7 @@ def run_churn_experiment(
         restart_backoff=restart_backoff,
         verify_sample=verify_sample,
         verify_seed=seed,
+        tracer=tracer,
     )
     run_until_ready(setup)
 
@@ -218,6 +220,8 @@ def run_churn_experiment(
     run_until_quiescent(setup, raise_on_abort=False)
 
     fm = setup.fm
+    if tracer is not None:
+        tracer.finalize(setup)
     last_fault = injector.log[-1].time if injector.log else 0.0
     time_to_converge = max(0.0, fm.history[-1].finished_at - last_fault)
     report = audit_topology(setup.fabric, fm)
@@ -267,14 +271,19 @@ def sweep_churn(
     seed) — identical to a serial sweep.
     """
     # Imported late: executor.py imports this module at load time.
-    from .executor import churn_job, run_many
+    from .executor import run_many
+    from .io import spec_to_dict
+    from .scenario import Scenario
 
+    spec_doc = spec_to_dict(spec)
+    timing_doc = timing.to_dict() if timing is not None else None
     jobs = [
-        churn_job(
-            spec, algorithm, seed=seed, faults=faults,
-            mean_interval=mean_interval, manager=manager,
-            timing=timing, verify_sample=verify_sample,
-        )
+        Scenario(
+            kind="churn", topology=spec_doc, algorithm=algorithm,
+            manager=manager, seed=seed, timing=timing_doc,
+            faults=faults, mean_interval=mean_interval,
+            verify_sample=verify_sample,
+        ).job()
         for algorithm in algorithms
         for seed in seeds
     ]

@@ -31,8 +31,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 from ..fabric.params import FabricParams
 from ..manager.timing import ProcessingTimeModel
 from ..topology.spec import TopologySpec
-from .io import spec_from_dict, spec_to_dict
-from .runner import run_change_experiment
+from .io import spec_to_dict
 
 #: Job kinds.
 CHANGE = "change"
@@ -77,6 +76,11 @@ class Job:
         Optional kind-specific keyword arguments (plain picklable
         dict; the ``"churn"`` kind carries its fault schedule and
         manager selection here).
+    scenario:
+        Optional :meth:`repro.experiments.scenario.Scenario.to_dict`
+        document.  When present it is the authoritative description
+        (the other fields exist for progress lines); legacy jobs leave
+        it ``None`` and are mapped field by field.
     tag:
         Opaque picklable caller bookkeeping, carried through untouched.
     """
@@ -90,6 +94,7 @@ class Job:
     params: Optional[dict] = None
     max_retries: Optional[int] = None
     options: Optional[dict] = None
+    scenario: Optional[dict] = None
     tag: Any = None
 
     def describe(self) -> str:
@@ -132,23 +137,27 @@ def change_job(
     seed: int = 0,
     change: str = "remove_switch",
     timing: Union[ProcessingTimeModel, dict, None] = None,
+    manager: str = "full",
     tag: Any = None,
 ) -> Job:
     """Describe one change-assimilation run (Fig. 6/9 protocol)."""
+    options = {"manager": manager} if manager != "full" else None
     return Job(kind=CHANGE, spec=_spec_document(spec), algorithm=algorithm,
                seed=seed, change=change, timing=_timing_document(timing),
-               tag=tag)
+               options=options, tag=tag)
 
 
 def initial_job(
     spec: Union[TopologySpec, dict],
     algorithm: str,
     timing: Union[ProcessingTimeModel, dict, None] = None,
+    manager: str = "full",
     tag: Any = None,
 ) -> Job:
     """Describe one full-fabric initial discovery (Figs. 4/7/8)."""
+    options = {"manager": manager} if manager != "full" else None
     return Job(kind=INITIAL, spec=_spec_document(spec), algorithm=algorithm,
-               timing=_timing_document(timing), tag=tag)
+               timing=_timing_document(timing), options=options, tag=tag)
 
 
 def reliability_job(
@@ -160,17 +169,27 @@ def reliability_job(
     max_retries: Optional[int] = None,
     tag: Any = None,
 ) -> Job:
-    """Describe one lossy-channel discovery run.
+    """Deprecated shim: describe one lossy-channel discovery run.
 
-    ``params`` carries the link-error configuration (bit error rate,
-    loss/duplicate rates); ``seed`` selects the per-link error streams.
+    Build ``Scenario(kind="reliability", ...)`` and call
+    ``Scenario.job()`` (or ``Scenario.run()`` directly) instead.
     """
+    import warnings
+    warnings.warn(
+        "reliability_job is deprecated; build a "
+        "Scenario(kind='reliability', ...) and call Scenario.job() "
+        "or Scenario.run() instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    from .scenario import Scenario
     if isinstance(params, FabricParams):
         params = params.to_dict()
-    return Job(kind=RELIABILITY, spec=_spec_document(spec),
-               algorithm=algorithm, seed=seed,
-               timing=_timing_document(timing), params=dict(params),
-               max_retries=max_retries, tag=tag)
+    return Scenario(
+        kind="reliability", topology=_spec_document(spec),
+        algorithm=algorithm, seed=seed,
+        timing=_timing_document(timing), params=dict(params),
+        max_retries=max_retries,
+    ).job(tag=tag)
 
 
 def churn_job(
@@ -186,26 +205,26 @@ def churn_job(
     restart_backoff: Optional[float] = None,
     tag: Any = None,
 ) -> Job:
-    """Describe one mid-discovery churn soak run.
+    """Deprecated shim: describe one mid-discovery churn soak run.
 
-    ``seed`` drives the fault schedule and the convergence-guard
-    sampling; ``manager`` selects the FM flavour (``"full"`` or
-    ``"partial"``).  ``None`` options fall back to the churn module's
-    defaults.
+    Build ``Scenario(kind="churn", ...)`` and call ``Scenario.job()``
+    (or ``Scenario.run()`` directly) instead.
     """
-    options = {"manager": manager}
-    for key, value in (
-        ("faults", faults),
-        ("mean_interval", mean_interval),
-        ("verify_sample", verify_sample),
-        ("max_discovery_restarts", max_discovery_restarts),
-        ("restart_backoff", restart_backoff),
-    ):
-        if value is not None:
-            options[key] = value
-    return Job(kind=CHURN, spec=_spec_document(spec), algorithm=algorithm,
-               seed=seed, timing=_timing_document(timing),
-               options=options, tag=tag)
+    import warnings
+    warnings.warn(
+        "churn_job is deprecated; build a Scenario(kind='churn', ...) "
+        "and call Scenario.job() or Scenario.run() instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    from .scenario import Scenario
+    return Scenario(
+        kind="churn", topology=_spec_document(spec),
+        algorithm=algorithm, manager=manager, seed=seed,
+        timing=_timing_document(timing), faults=faults,
+        mean_interval=mean_interval, verify_sample=verify_sample,
+        max_discovery_restarts=max_discovery_restarts,
+        restart_backoff=restart_backoff,
+    ).job(tag=tag)
 
 
 # -- outcomes -----------------------------------------------------------------
@@ -273,40 +292,15 @@ class SweepReport:
 # -- worker side --------------------------------------------------------------
 
 def _execute_job(job: Job):
-    """Run one described experiment (in the worker process)."""
-    spec = spec_from_dict(job.spec)
-    timing = (ProcessingTimeModel.from_dict(job.timing)
-              if job.timing is not None else None)
-    if job.kind == CHANGE:
-        return run_change_experiment(
-            spec, algorithm=job.algorithm, change=job.change or
-            "remove_switch", seed=job.seed, timing=timing,
-        )
-    if job.kind == INITIAL:
-        # Imported late: sweep.py imports this module at load time.
-        from .sweep import measure_initial_discovery
-        return measure_initial_discovery(spec, job.algorithm, timing)
-    if job.kind == RELIABILITY:
-        # Imported late: reliability.py imports this module lazily too.
-        from .reliability import (
-            RELIABILITY_MAX_RETRIES,
-            run_reliability_experiment,
-        )
-        params = FabricParams.from_dict(job.params or {})
-        retries = (RELIABILITY_MAX_RETRIES if job.max_retries is None
-                   else job.max_retries)
-        return run_reliability_experiment(
-            spec, job.algorithm, params=params, seed=job.seed,
-            timing=timing, max_retries=retries,
-        )
-    if job.kind == CHURN:
-        # Imported late: churn.py imports this module lazily too.
-        from .churn import run_churn_experiment
-        return run_churn_experiment(
-            spec, algorithm=job.algorithm, seed=job.seed, timing=timing,
-            **dict(job.options or {}),
-        )
-    raise ValueError(f"unknown job kind {job.kind!r}")
+    """Run one described experiment (in the worker process).
+
+    Every job kind — legacy or scenario-carrying — routes through
+    :func:`repro.experiments.scenario.run_scenario`, so a sweep run
+    and a direct ``Scenario.run()`` share one code path.
+    """
+    # Imported late: scenario.py imports this module lazily too.
+    from .scenario import Scenario
+    return Scenario.from_job(job).run()
 
 
 def _run_indexed(indexed):

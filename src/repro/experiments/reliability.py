@@ -101,6 +101,8 @@ def run_reliability_experiment(
     seed: int = 0,
     timing: Optional[ProcessingTimeModel] = None,
     max_retries: int = RELIABILITY_MAX_RETRIES,
+    manager: str = "full",
+    tracer=None,
 ) -> ReliabilityResult:
     """One full discovery of ``spec`` under ``params``'s error model.
 
@@ -111,9 +113,11 @@ def run_reliability_experiment(
     params = replace(params, error_seed=seed)
     setup = build_simulation(
         spec, algorithm=algorithm, timing=timing, params=params,
-        max_retries=max_retries,
+        max_retries=max_retries, manager=manager, tracer=tracer,
     )
     stats = run_until_ready(setup)
+    if tracer is not None:
+        tracer.finalize(setup)
     crc_drops = lost = replays = duplicates = 0
     for device in setup.fabric.devices.values():
         for port in device.ports:
@@ -161,14 +165,19 @@ def sweep_reliability(
     algorithm, then seed) — identical to a serial sweep.
     """
     # Imported late: executor.py imports this module at load time.
-    from .executor import reliability_job, run_many
+    from .executor import run_many
+    from .io import spec_to_dict
+    from .scenario import Scenario
 
+    spec_doc = spec_to_dict(spec)
+    timing_doc = timing.to_dict() if timing is not None else None
     jobs = [
-        reliability_job(
-            spec, algorithm,
-            params=replace(base_params, bit_error_rate=rate),
-            seed=seed, timing=timing, max_retries=max_retries,
-        )
+        Scenario(
+            kind="reliability", topology=spec_doc, algorithm=algorithm,
+            seed=seed, timing=timing_doc,
+            params=replace(base_params, bit_error_rate=rate).to_dict(),
+            max_retries=max_retries,
+        ).job()
         for rate in bit_error_rates
         for algorithm in algorithms
         for seed in seeds

@@ -68,6 +68,27 @@ def render_series(title: str, xlabel: str, ylabel: str,
     return f"{title}  (y = {ylabel})\n{body}"
 
 
+def render_phase_breakdown(rows: Sequence[dict], title: str = "") -> str:
+    """ASCII table of per-phase discovery-time breakdowns.
+
+    ``rows`` are :func:`repro.obs.breakdown.discovery_phase_breakdown`
+    dicts; by construction ``claim + port_read + other == total``
+    (route distribution runs after the measured window and is its own
+    column).
+    """
+    headers = ("span", "algorithm", "trigger", "claim", "port_read",
+               "other", "total", "coverage", "routes")
+    table = render_table(headers, [
+        (
+            row["name"], row["algorithm"], row["trigger"],
+            row["claim"], row["port_read"], row["other"], row["total"],
+            f"{row['coverage'] * 100:.1f}%", row["route_distribution"],
+        )
+        for row in rows
+    ])
+    return f"{title}\n{table}" if title else table
+
+
 def render_kv(title: str, mapping: Dict[str, object]) -> str:
     """Render a labelled key/value block."""
     width = max((len(k) for k in mapping), default=0)

@@ -10,7 +10,6 @@ detection of changes, we have implemented the event-reporting mechanism
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -65,6 +64,7 @@ def build_simulation(
     fm_host: Optional[str] = None,
     power_up: bool = True,
     manager: str = "full",
+    tracer=None,
     **fm_kwargs,
 ) -> SimulationSetup:
     """Instantiate a topology with a management entity per device and a
@@ -72,7 +72,9 @@ def build_simulation(
 
     ``manager`` selects the FM flavour: ``"full"`` (every change is a
     full rediscovery, the paper's assumption) or ``"partial"`` (the
-    burst-based partial change assimilation extension).
+    burst-based partial change assimilation extension).  ``tracer`` is
+    an optional :class:`repro.obs.session.TraceSession`, installed
+    before anything runs; tracing never perturbs the simulation.
     """
     env = Environment()
     fabric = spec.build(env, params)
@@ -92,8 +94,11 @@ def build_simulation(
     )
     if power_up:
         fabric.power_up()
-    return SimulationSetup(env=env, spec=spec, fabric=fabric,
-                           entities=entities, fm=fm)
+    setup = SimulationSetup(env=env, spec=spec, fabric=fabric,
+                            entities=entities, fm=fm)
+    if tracer is not None:
+        tracer.install(setup)
+    return setup
 
 
 def run_until_ready(setup: SimulationSetup) -> DiscoveryStats:
@@ -209,53 +214,29 @@ def run_change_experiment(
     seed: int = 0,
     timing: Optional[ProcessingTimeModel] = None,
     params: FabricParams = DEFAULT_PARAMS,
+    manager: str = "full",
     **fm_kwargs,
 ) -> ExperimentResult:
-    """Run the paper's experiment: settle, change, measure rediscovery.
+    """Deprecated shim over :meth:`repro.experiments.scenario.Scenario.run`.
 
-    ``change`` is ``"remove_switch"`` or ``"add_switch"`` (for addition
-    the randomly chosen switch is kept powered off during the transient
-    period and hot-added as the change).
+    The canonical change-experiment body lives in
+    :mod:`repro.experiments.scenario` now; this wrapper builds the
+    equivalent :class:`~repro.experiments.scenario.Scenario` and runs
+    it, producing run-for-run identical results.
     """
-    if change not in ("remove_switch", "add_switch"):
-        raise ValueError(f"unknown change kind {change!r}")
-    rng = random.Random(seed)
-    setup = build_simulation(spec, algorithm=algorithm, timing=timing,
-                             params=params, **fm_kwargs)
-    candidates = _removable_switches(setup)
-    if not candidates:
-        raise ValueError(f"{spec.name}: no switch eligible for the change")
-    victim = rng.choice(candidates)
-
-    if change == "add_switch":
-        # Keep the victim out of the initial topology.
-        setup.fabric.remove_device(victim)
-
-    # Transient period: initial discovery + event-route programming.
-    initial = run_until_ready(setup)
-
-    # The programmed change.
-    if change == "remove_switch":
-        setup.fabric.remove_device(victim)
-    else:
-        setup.fabric.restore_device(victim)
-
-    # PI-5 detection triggers the change assimilation; wait for it.
-    assimilation = run_until_discovery_count(setup, 2)
-    # Let the event-route reprogramming finish too.
-    setup.env.run(until=setup.fm.ready_event)
-
-    active = len(setup.fabric.reachable_devices(setup.fm.endpoint.name))
-    return ExperimentResult(
-        topology=spec.name,
-        family=spec.family,
-        algorithm=algorithm,
-        seed=seed,
-        change=change,
-        changed_device=victim,
-        total_devices=spec.total_devices,
-        active_devices=active,
-        initial=initial,
-        assimilation=assimilation,
-        database_correct=database_matches_fabric(setup),
+    import warnings
+    warnings.warn(
+        "run_change_experiment is deprecated; build a "
+        "Scenario(kind='change', ...) and call Scenario.run() instead",
+        DeprecationWarning, stacklevel=2,
     )
+    # Imported late: scenario.py imports this module at load time.
+    from .io import spec_to_dict
+    from .scenario import Scenario
+    return Scenario(
+        kind="change", topology=spec_to_dict(spec), algorithm=algorithm,
+        manager=manager, seed=seed, change=change,
+        timing=timing.to_dict() if timing is not None else None,
+        params=None if params is DEFAULT_PARAMS else params.to_dict(),
+        fm_options=dict(fm_kwargs) or None,
+    ).run()

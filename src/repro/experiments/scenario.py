@@ -1,0 +1,385 @@
+"""The unified Scenario API: one typed description per experiment run.
+
+Every experiment entry point in this repository answers the same
+question — *run one described simulation and measure it* — but they
+historically grew separate signatures (``run_change_experiment``,
+``reliability_job``, ``churn_job``...).  :class:`Scenario` is the one
+typed description they all share now:
+
+* a **topology** (a Table 1 name/alias, or a portable spec document),
+* the **fabric parameters** (including the link error model),
+* the **manager flavour** and **discovery algorithm**,
+* the **fault plan** (change kind, churn schedule), and
+* the **seed** every bit of per-run randomness derives from.
+
+``Scenario.run()`` executes it; ``Scenario.job()`` turns it into a
+spawn-safe :class:`~repro.experiments.executor.Job` for the parallel
+executor (which routes *all* job kinds back through
+:func:`run_scenario`, so a sweep and a single run share one code
+path).  ``to_dict``/``from_dict`` round-trip losslessly and reject
+unknown keys, so an archived sweep configuration cannot silently drop
+a misspelled error-model field.
+
+The legacy entry points still work as thin shims that emit a
+:class:`DeprecationWarning` pointing here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Any, Optional, Union
+
+from ..fabric.params import DEFAULT_PARAMS, FabricParams
+from ..manager.timing import ALGORITHMS, PARALLEL, ProcessingTimeModel
+from ..topology.spec import TopologySpec
+from .runner import (
+    MANAGER_KINDS,
+    ExperimentResult,
+    _removable_switches,
+    build_simulation,
+    database_matches_fabric,
+    run_until_discovery_count,
+    run_until_ready,
+)
+
+#: Recognised scenario kinds.
+KINDS = ("discover", "change", "reliability", "churn")
+
+#: Change kinds of the ``"change"`` scenario.
+CHANGE_KINDS = ("remove_switch", "add_switch")
+
+_SCHEMA = "repro/scenario/v1"
+
+#: Algorithm keys accepted beside the three full-discovery ones
+#: (``partial`` only labels stats; the manager field selects it).
+_ALGORITHM_KEYS = tuple(ALGORITHMS)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, portable description of one experiment run.
+
+    Attributes
+    ----------
+    kind:
+        ``"discover"`` (one full initial discovery — Figs. 4/7/8),
+        ``"change"`` (the Fig. 6/9 change-assimilation protocol),
+        ``"reliability"`` (discovery under the link error model), or
+        ``"churn"`` (mid-discovery fault soak).
+    topology:
+        A Table 1 topology name or alias (``"4x4 mesh"``, ``mesh16``)
+        or a :func:`~repro.experiments.io.spec_to_dict` document.
+    algorithm:
+        Discovery algorithm key.
+    manager:
+        FM flavour: ``"full"`` or ``"partial"``.
+    seed:
+        The per-run seed; every bit of randomness (victim choice,
+        link-error streams, fault schedule, guard sampling) derives
+        from it.
+    change:
+        Change kind for ``kind="change"`` (default ``remove_switch``).
+    timing / params:
+        Optional :meth:`ProcessingTimeModel.to_dict` /
+        :meth:`FabricParams.to_dict` documents (model objects are
+        accepted and normalized).
+    max_retries:
+        Per-request retry budget (reliability runs default to the
+        reliability module's higher budget).
+    faults / mean_interval / verify_sample / max_discovery_restarts /
+    restart_backoff:
+        Churn fault plan and hardening knobs (``None`` = the churn
+        module's defaults).
+    fm_options:
+        Extra keyword arguments for the FM constructor (ablation
+        switches such as ``arrival_clears_timeout``).
+    """
+
+    kind: str = "discover"
+    topology: Union[str, dict] = "4x4 mesh"
+    algorithm: str = PARALLEL
+    manager: str = "full"
+    seed: int = 0
+    change: Optional[str] = None
+    timing: Optional[dict] = None
+    params: Optional[dict] = None
+    max_retries: Optional[int] = None
+    faults: Optional[int] = None
+    mean_interval: Optional[float] = None
+    verify_sample: Optional[int] = None
+    max_discovery_restarts: Optional[int] = None
+    restart_backoff: Optional[float] = None
+    fm_options: Optional[dict] = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown scenario kind {self.kind!r} "
+                f"(expected one of {KINDS})"
+            )
+        if self.manager not in MANAGER_KINDS:
+            raise ValueError(
+                f"unknown manager kind {self.manager!r} "
+                f"(expected one of {MANAGER_KINDS})"
+            )
+        if self.algorithm not in _ALGORITHM_KEYS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r} "
+                f"(expected one of {_ALGORITHM_KEYS})"
+            )
+        if self.change is not None and self.change not in CHANGE_KINDS:
+            raise ValueError(
+                f"unknown change kind {self.change!r} "
+                f"(expected one of {CHANGE_KINDS})"
+            )
+        # Normalize model objects to their portable documents, and
+        # validate documents eagerly — a bad field should fail at
+        # description time, not inside a sweep worker.
+        params = self.params
+        if isinstance(params, FabricParams):
+            object.__setattr__(self, "params", params.to_dict())
+        elif params is not None:
+            FabricParams.from_dict(params)  # strict: raises on unknown
+        timing = self.timing
+        if isinstance(timing, ProcessingTimeModel):
+            object.__setattr__(self, "timing", timing.to_dict())
+
+    # -- materialization -----------------------------------------------------
+    def spec(self) -> TopologySpec:
+        """Build the topology this scenario names or embeds."""
+        if isinstance(self.topology, dict):
+            from .io import spec_from_dict
+            return spec_from_dict(self.topology)
+        from ..topology.table1 import table1_topology
+        return table1_topology(self.topology)
+
+    def fabric_params(self) -> FabricParams:
+        if self.params is None:
+            return DEFAULT_PARAMS
+        return FabricParams.from_dict(self.params)
+
+    def timing_model(self) -> Optional[ProcessingTimeModel]:
+        if self.timing is None:
+            return None
+        return ProcessingTimeModel.from_dict(self.timing)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-ready rendering (every field, always)."""
+        document = {"schema": _SCHEMA}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, dict):
+                value = dict(value)
+            document[spec_field.name] = value
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "Scenario":
+        """Rebuild from :meth:`to_dict` output; unknown keys raise."""
+        kwargs = dict(document)
+        schema = kwargs.pop("schema", _SCHEMA)
+        if schema != _SCHEMA:
+            raise ValueError(
+                f"expected schema {_SCHEMA!r}, got {schema!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown Scenario fields: {', '.join(unknown)}"
+            )
+        return cls(**kwargs)
+
+    # -- execution -----------------------------------------------------------
+    def run(self, tracer=None):
+        """Execute this scenario (see :func:`run_scenario`)."""
+        return run_scenario(self, tracer=tracer)
+
+    def job(self, tag: Any = None):
+        """Spawn-safe executor job for this scenario."""
+        from .executor import CHANGE, CHURN, INITIAL, RELIABILITY, Job
+        from .io import spec_to_dict
+        kind = {
+            "discover": INITIAL,
+            "change": CHANGE,
+            "reliability": RELIABILITY,
+            "churn": CHURN,
+        }[self.kind]
+        spec_doc = (
+            dict(self.topology) if isinstance(self.topology, dict)
+            else spec_to_dict(self.spec())
+        )
+        options = None
+        if self.kind == "churn":
+            options = {"manager": self.manager}
+        return Job(
+            kind=kind, spec=spec_doc, algorithm=self.algorithm,
+            seed=self.seed, change=self.change, timing=self.timing,
+            params=self.params, max_retries=self.max_retries,
+            options=options, scenario=self.to_dict(), tag=tag,
+        )
+
+    @classmethod
+    def from_job(cls, job) -> "Scenario":
+        """A scenario equivalent to an executor :class:`Job`.
+
+        Jobs built by :meth:`job` carry their scenario verbatim;
+        legacy jobs (from ``change_job`` and friends) are mapped field
+        by field, preserving the historical defaults exactly.
+        """
+        if job.scenario is not None:
+            return cls.from_dict(job.scenario)
+        from .executor import CHANGE, CHURN, INITIAL, RELIABILITY
+        options = dict(job.options or {})
+        common = dict(
+            topology=dict(job.spec), algorithm=job.algorithm,
+            seed=job.seed, timing=job.timing,
+        )
+        if job.kind == INITIAL:
+            return cls(kind="discover",
+                       manager=options.get("manager", "full"), **common)
+        if job.kind == CHANGE:
+            return cls(kind="change",
+                       change=job.change or "remove_switch",
+                       manager=options.get("manager", "full"), **common)
+        if job.kind == RELIABILITY:
+            return cls(kind="reliability", params=job.params,
+                       max_retries=job.max_retries, **common)
+        if job.kind == CHURN:
+            return cls(
+                kind="churn",
+                manager=options.get("manager", "full"),
+                faults=options.get("faults"),
+                mean_interval=options.get("mean_interval"),
+                verify_sample=options.get("verify_sample"),
+                max_discovery_restarts=options.get(
+                    "max_discovery_restarts"),
+                restart_backoff=options.get("restart_backoff"),
+                **common,
+            )
+        raise ValueError(f"unknown job kind {job.kind!r}")
+
+
+# -- the four canonical run bodies --------------------------------------------
+
+def _run_discover(scenario: Scenario, tracer=None):
+    """One full initial discovery (the Figs. 4/7/8 measurement)."""
+    setup = build_simulation(
+        scenario.spec(), algorithm=scenario.algorithm,
+        timing=scenario.timing_model(), params=scenario.fabric_params(),
+        manager=scenario.manager, auto_start=False, tracer=tracer,
+        **dict(scenario.fm_options or {}),
+    )
+    setup.fm.start_discovery()
+    stats = run_until_ready(setup)
+    # Attach the measured mean FM processing time for Fig. 4, and the
+    # ground-truth database check (the CLI's exit code).
+    stats.mean_fm_time = setup.fm.mean_processing_time()
+    stats.database_correct = database_matches_fabric(setup)
+    if tracer is not None:
+        tracer.finalize(setup)
+    return stats
+
+
+def _run_change(scenario: Scenario, tracer=None) -> ExperimentResult:
+    """The paper's protocol: settle, change, measure rediscovery."""
+    change = scenario.change or "remove_switch"
+    spec = scenario.spec()
+    rng = random.Random(scenario.seed)
+    setup = build_simulation(
+        spec, algorithm=scenario.algorithm,
+        timing=scenario.timing_model(), params=scenario.fabric_params(),
+        manager=scenario.manager, tracer=tracer,
+        **dict(scenario.fm_options or {}),
+    )
+    candidates = _removable_switches(setup)
+    if not candidates:
+        raise ValueError(f"{spec.name}: no switch eligible for the change")
+    victim = rng.choice(candidates)
+
+    if change == "add_switch":
+        # Keep the victim out of the initial topology.
+        setup.fabric.remove_device(victim)
+
+    # Transient period: initial discovery + event-route programming.
+    initial = run_until_ready(setup)
+
+    # The programmed change.
+    if change == "remove_switch":
+        setup.fabric.remove_device(victim)
+    else:
+        setup.fabric.restore_device(victim)
+
+    # PI-5 detection triggers the change assimilation; wait for it.
+    assimilation = run_until_discovery_count(setup, 2)
+    # Let the event-route reprogramming finish too.
+    setup.env.run(until=setup.fm.ready_event)
+
+    active = len(setup.fabric.reachable_devices(setup.fm.endpoint.name))
+    if tracer is not None:
+        tracer.finalize(setup)
+    return ExperimentResult(
+        topology=spec.name,
+        family=spec.family,
+        algorithm=scenario.algorithm,
+        seed=scenario.seed,
+        change=change,
+        changed_device=victim,
+        total_devices=spec.total_devices,
+        active_devices=active,
+        initial=initial,
+        assimilation=assimilation,
+        database_correct=database_matches_fabric(setup),
+    )
+
+
+def _run_reliability(scenario: Scenario, tracer=None):
+    from .reliability import (
+        RELIABILITY_MAX_RETRIES,
+        run_reliability_experiment,
+    )
+    retries = (RELIABILITY_MAX_RETRIES if scenario.max_retries is None
+               else scenario.max_retries)
+    return run_reliability_experiment(
+        scenario.spec(), scenario.algorithm,
+        params=scenario.fabric_params(), seed=scenario.seed,
+        timing=scenario.timing_model(), max_retries=retries,
+        manager=scenario.manager, tracer=tracer,
+    )
+
+
+def _run_churn(scenario: Scenario, tracer=None):
+    from .churn import run_churn_experiment
+    kwargs = {}
+    for name in ("faults", "mean_interval", "verify_sample",
+                 "max_discovery_restarts", "restart_backoff"):
+        value = getattr(scenario, name)
+        if value is not None:
+            kwargs[name] = value
+    return run_churn_experiment(
+        scenario.spec(), algorithm=scenario.algorithm,
+        seed=scenario.seed, manager=scenario.manager,
+        timing=scenario.timing_model(), params=scenario.fabric_params(),
+        tracer=tracer, **kwargs,
+    )
+
+
+_RUNNERS = {
+    "discover": _run_discover,
+    "change": _run_change,
+    "reliability": _run_reliability,
+    "churn": _run_churn,
+}
+
+
+def run_scenario(scenario: Scenario, tracer=None):
+    """Execute one scenario; returns its kind's result object.
+
+    ``tracer`` is an optional :class:`repro.obs.session.TraceSession`;
+    it is installed before the simulation starts and finalized when
+    the run ends.  Tracing never perturbs the simulation, so a traced
+    run's measurements are bit-identical to an untraced one.
+    """
+    return _RUNNERS[scenario.kind](scenario, tracer=tracer)

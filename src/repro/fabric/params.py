@@ -118,8 +118,19 @@ class FabricParams:
 
     @classmethod
     def from_dict(cls, document: dict) -> "FabricParams":
-        """Rebuild parameters from :meth:`to_dict` output."""
+        """Rebuild parameters from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ValueError` — a misspelled
+        error-model field silently reverting to the perfect channel
+        would invalidate a whole sweep.
+        """
         kwargs = dict(document)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FabricParams fields: {', '.join(unknown)}"
+            )
         for name in ("vc_types", "tc_vc_map"):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])

@@ -179,6 +179,9 @@ class Port:
             return
         self._tx_vcs[vc_index].push(packet)
         self.stats.incr("tx_queued")
+        if self._trace is not None:
+            self._trace("enqueue", self.device, self.index, packet,
+                        f"vc{vc_index}")
         self._wake()
 
     def _wake(self) -> None:

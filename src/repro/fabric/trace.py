@@ -18,8 +18,10 @@ from typing import Deque, Iterable, List, Optional, Set
 from .fabric import Fabric
 from .packet import Packet
 
-#: Event kinds, in rough lifecycle order.
-KINDS = ("inject", "tx", "rx", "forward", "drop", "deliver")
+#: Event kinds, in rough lifecycle order.  ``enqueue`` marks a packet
+#: entering a port's transmit queue (before arbitration); ``tx`` the
+#: moment it actually goes on the wire.
+KINDS = ("inject", "enqueue", "tx", "rx", "forward", "drop", "deliver")
 
 
 @dataclass(frozen=True)

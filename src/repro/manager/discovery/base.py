@@ -126,6 +126,9 @@ class Target:
     out_port: Optional[int]  # FM-local egress port; None = loopback
     via_dsn: Optional[int] = None  # parent device
     via_port: Optional[int] = None  # parent port leading here
+    #: Open claim span while this target's general read is in flight
+    #: (tracing only; ``None`` when tracing is disabled).
+    span: object = None
 
 
 class DiscoveryAlgorithm:
@@ -142,6 +145,12 @@ class DiscoveryAlgorithm:
         self.done_event = self.env.event()
         self._finished = False
         self._outstanding = 0
+        #: Top-level span covering this run.  Owned (begun/ended) by
+        #: this instance unless a surrounding burst supplied it (see
+        #: the partial-assimilation region explorations).
+        self.span = None
+        self._span_owned = True
+        self._port_spans = {}
         #: DSNs whose subtree may be incompletely explored because a
         #: request into it died mid-walk (retries exhausted on a
         #: claimed branch) or because a re-read found a different
@@ -154,11 +163,27 @@ class DiscoveryAlgorithm:
         """Begin discovery at the FM's own endpoint."""
         self.stats.trigger = trigger
         self.stats.started_at = self.env.now
+        if self._tracer is not None:
+            self.span = self._tracer.begin(
+                f"discovery:{self.key}", "discovery", self.env.now,
+                track="fm", algorithm=self.key, trigger=trigger,
+            )
         self._send_general(Target(hops=[], out_port=None))
 
     @property
     def done(self) -> bool:
         return self._finished
+
+    @property
+    def _tracer(self):
+        """Observability (``None`` = disabled, the zero-overhead path).
+
+        Read through to the FM on every use rather than snapshotted at
+        construction: the FM builds its initial discovery object before
+        a :class:`~repro.obs.session.TraceSession` is installed on the
+        setup, and the session must still capture that run.
+        """
+        return self.fm.tracer
 
     def _maybe_finish(self) -> None:
         if self._finished or self._outstanding > 0 or self._has_backlog():
@@ -166,6 +191,10 @@ class DiscoveryAlgorithm:
         self._finished = True
         self.stats.finished_at = self.env.now
         self.stats.devices_found = len(self.db)
+        if (self.span is not None and self._span_owned
+                and self._tracer is not None):
+            self._tracer.end(self.span, self.stats.finished_at,
+                             devices=self.stats.devices_found)
         self.done_event.succeed(self.stats)
 
     # -- request plumbing ---------------------------------------------------
@@ -177,9 +206,16 @@ class DiscoveryAlgorithm:
             count=GENERAL_INFO_DWORDS,
         )
         self._outstanding += 1
+        if self._tracer is not None:
+            target.span = self._tracer.begin(
+                "claim", "discovery", self.env.now,
+                parent=self.span, track="discovery",
+                via_dsn=target.via_dsn, via_port=target.via_port,
+            )
         self.fm.send_request(
             message, pool, target.out_port,
             callback=self._on_general, ctx=target,
+            span_parent=target.span,
         )
 
     def _send_port_read(self, record: DeviceRecord, index: int) -> None:
@@ -191,14 +227,28 @@ class DiscoveryAlgorithm:
             tag=0, count=1,
         )
         self._outstanding += 1
+        span = None
+        if self._tracer is not None:
+            span = self._tracer.begin(
+                "port_read", "discovery", self.env.now,
+                parent=self.span, track="discovery",
+                dsn=record.dsn, port=index,
+            )
+            self._port_spans[(record.dsn, index)] = span
         self.fm.send_request(
             message, pool, out,
             callback=self._on_port, ctx=(record, index),
+            span_parent=span,
         )
 
     # -- completion handling ---------------------------------------------------
     def _on_general(self, completion, target: Target) -> None:
         self._outstanding -= 1
+        if target.span is not None and self._tracer is not None:
+            ok = isinstance(completion, pi4.ReadCompletion)
+            self._tracer.end(target.span, self.env.now,
+                             outcome="claimed" if ok else "abandoned")
+            target.span = None
         if completion is None or not isinstance(completion,
                                                 pi4.ReadCompletion):
             # Timed out or completion-with-error: the device vanished
@@ -267,6 +317,12 @@ class DiscoveryAlgorithm:
     def _on_port(self, completion, ctx) -> None:
         self._outstanding -= 1
         record, index = ctx
+        if self._tracer is not None:
+            span = self._port_spans.pop((record.dsn, index), None)
+            if span is not None:
+                ok = isinstance(completion, pi4.ReadCompletion)
+                self._tracer.end(span, self.env.now,
+                                 outcome="read" if ok else "abandoned")
         port = record.port(index)
         if completion is None or not isinstance(completion,
                                                 pi4.ReadCompletion):

@@ -73,6 +73,10 @@ class PartialAssimilationManager(FabricManager):
         super().__init__(*args, **kwargs)
         self._event_queue: Deque[pi5.PortEvent] = deque()
         self._burst_stats: Optional[DiscoveryStats] = None
+        #: Open observability span covering the current burst (tracing
+        #: only; region explorations share it instead of opening their
+        #: own discovery span).
+        self._burst_span = None
         self._region: Optional[_RegionExploration] = None
         #: ``(reporter_dsn, port)`` pairs already confirmed (or queued)
         #: in the current burst — also covers the synthetic checks below.
@@ -139,6 +143,11 @@ class PartialAssimilationManager(FabricManager):
             algorithm=PARTIAL, trigger="change",
             started_at=self.env.now,
         )
+        if self.tracer is not None:
+            self._burst_span = self.tracer.begin(
+                "assimilation:partial", "discovery", self.env.now,
+                track="fm", algorithm=PARTIAL, trigger="change",
+            )
         self.counters.incr("changes_assimilated")
         self._next_event()
 
@@ -172,6 +181,7 @@ class PartialAssimilationManager(FabricManager):
         self.send_request(
             message, record.route(), out,
             callback=self._on_confirm, ctx=(event, record),
+            span_parent=self._burst_span,
         )
 
     def _on_confirm(self, completion, ctx) -> None:
@@ -221,6 +231,7 @@ class PartialAssimilationManager(FabricManager):
                     callback=self._on_liveness_probe,
                     ctx=suspect,
                     retries=0,
+                    span_parent=self._burst_span,
                 )
                 return  # continue in the probe callback
 
@@ -271,6 +282,10 @@ class PartialAssimilationManager(FabricManager):
             return
         region = _RegionExploration(self)
         region.stats = self._burst_stats  # aggregate into the burst
+        # Claim/port-read spans nest under the burst's span; the burst
+        # (not the region) closes it.
+        region.span = self._burst_span
+        region._span_owned = False
         region.done_event.callbacks.append(lambda _ev: self._region_done())
         self._region = region
         region.start_at([
@@ -293,6 +308,10 @@ class PartialAssimilationManager(FabricManager):
         self._burst_seen = set()
         stats.finished_at = self.env.now
         stats.devices_found = len(self.database)
+        if self._burst_span is not None and self.tracer is not None:
+            self.tracer.end(self._burst_span, stats.finished_at,
+                            devices=stats.devices_found)
+        self._burst_span = None
         self.history.append(stats)
         for callback in list(self.on_discovery_complete):
             callback(stats)
@@ -353,6 +372,11 @@ class PartialAssimilationManager(FabricManager):
             algorithm=PARTIAL, trigger="repair",
             started_at=self.env.now,
         )
+        if self.tracer is not None:
+            self._burst_span = self.tracer.begin(
+                "repair:partial", "discovery", self.env.now,
+                track="fm", algorithm=PARTIAL, trigger="repair",
+            )
         self._next_event()
         return True
 
@@ -365,7 +389,13 @@ class PartialAssimilationManager(FabricManager):
         self._burst_stats = None
         if self._region is not None:
             self._region = None
-        self._pending.clear()
+        if self._burst_span is not None and self.tracer is not None:
+            self.tracer.end(self._burst_span, self.env.now,
+                            aborted_to_full=True)
+        self._burst_span = None
+        # cancel_all == the historical ``_pending.clear()`` (no
+        # callbacks fire) plus closure of the orphaned spans.
+        self.engine.cancel_all()
         if (stats.trigger == "repair"
                 and self._restart_streak >= self.max_discovery_restarts):
             # A failed *repair* escalation is an automatic recovery

@@ -117,6 +117,10 @@ class FabricManager:
         #: triggered after fabric initialization").
         self._enabled = auto_start
 
+        #: Optional :class:`repro.obs.span.SpanTracer` (see
+        #: :meth:`attach_tracer`).  ``None`` keeps every instrumented
+        #: path at a single ``is not None`` test.
+        self.tracer = None
         self.database = TopologyDatabase()
         self.discovery: Optional[DiscoveryAlgorithm] = None
         #: Stats of every completed discovery, in order.
@@ -162,6 +166,32 @@ class FabricManager:
 
         entity.manager = self
 
+    # -- observability -------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Record spans for discoveries, transactions, and restarts.
+
+        The tracer (:class:`repro.obs.span.SpanTracer`) is passive —
+        it never schedules events or consumes randomness — so
+        attaching one leaves simulation results bit-identical.  Pass
+        ``None`` to detach.
+        """
+        self.tracer = tracer
+        self.engine.tracer = tracer
+        # An auto-started FM begins its initial discovery during
+        # construction, before a trace session can install itself.
+        # Open that run's top-level span retroactively so its claim /
+        # port-read children don't end up parentless.
+        discovery = self.discovery
+        if (tracer is not None and discovery is not None
+                and not discovery.done and discovery.span is None
+                and discovery.stats.started_at is not None):
+            discovery.span = tracer.begin(
+                f"discovery:{discovery.key}", "discovery",
+                discovery.stats.started_at, track="fm",
+                algorithm=discovery.key,
+                trigger=discovery.stats.trigger,
+            )
+
     # -- cost model (paper Fig. 4) -----------------------------------------
     def packet_cost(self, packet: Packet) -> float:
         """FM time to process one management packet."""
@@ -202,17 +232,20 @@ class FabricManager:
     def send_request(self, message, pool: TurnPool,
                      out_port: Optional[int], callback: Callable,
                      ctx: Any = None, retries: Optional[int] = None,
-                     timeout: Optional[float] = None) -> int:
+                     timeout: Optional[float] = None,
+                     span_parent: Optional[Any] = None) -> int:
         """Send a PI-4 request; ``callback(completion_or_None, ctx)``.
 
         The completion (or ``None`` after the retries are exhausted) is
         delivered after the FM has been charged its per-packet
         processing time.  ``retries``/``timeout`` override the FM-wide
-        defaults (used for cheap liveness probes).
+        defaults (used for cheap liveness probes).  ``span_parent``
+        nests the transaction's span under the caller's (tracing only).
         """
         return self.engine.open(
             message, pool, out_port, callback, ctx=ctx,
             retries=retries, timeout=timeout, stats=self._active_stats(),
+            span_parent=span_parent,
         )
 
     def _on_request_transmitted(self, entry: Transaction, packet) -> None:
@@ -253,6 +286,12 @@ class FabricManager:
                 self.counters.incr("pi5_decode_errors")
                 return
             self.counters.incr("pi5_received")
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "pi5", "pi5", self.env.now, track="fm",
+                    reporter=event.reporter_dsn, port=event.port,
+                    up=event.up, seq=event.seq,
+                )
             if event.seq <= self._event_seqs.get(event.reporter_dsn, 0):
                 # A blind retransmission of an event already processed.
                 self.counters.incr("pi5_duplicates")
@@ -297,6 +336,12 @@ class FabricManager:
     def handle_local_event(self, event: pi5.PortEvent) -> None:
         """Port event on the FM's own endpoint (no packet needed)."""
         self.counters.incr("local_events")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "pi5", "pi5", self.env.now, track="fm",
+                reporter=event.reporter_dsn, port=event.port,
+                up=event.up, seq=event.seq, local=True,
+            )
         self._handle_event(event)
 
     def _handle_event(self, event: pi5.PortEvent) -> None:
@@ -339,7 +384,14 @@ class FabricManager:
         if self.is_discovering:
             if not force:
                 raise RuntimeError("discovery already in progress")
-            self._pending.clear()
+            old = self.discovery
+            if (self.tracer is not None and old is not None
+                    and old.span is not None and old._span_owned):
+                self.tracer.end(old.span, self.env.now, aborted=True)
+                old.span = None
+            # cancel_all == the historical ``_pending.clear()`` (no
+            # callbacks fire) plus closure of the orphaned spans.
+            self.engine.cancel_all()
         self.database.clear()
         if self.ready_event is None or self.ready_event.triggered:
             # Keep a pending ready_event across immediate restarts so
@@ -449,11 +501,20 @@ class FabricManager:
             return
         delay = self.restart_backoff * (2 ** (self._restart_streak - 1))
         timer = self.env.timeout(delay)
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "backoff", "restart", self.env.now, track="fm",
+                trigger=trigger, streak=self._restart_streak,
+            )
 
         def fire(_event) -> None:
             # A PI-5 event may have kicked off a discovery during the
             # backoff window; do not stack a second one.
-            if self.is_discovering or not self._enabled:
+            superseded = self.is_discovering or not self._enabled
+            if span is not None:
+                self.tracer.end(span, self.env.now, superseded=superseded)
+            if superseded:
                 return
             self.start_discovery(trigger=trigger)
 
@@ -535,6 +596,12 @@ class FabricManager:
         records = [
             r for r in self.database.devices() if r.ingress_port is not None
         ]
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "route_distribution", "routes", self.env.now,
+                track="fm", devices=len(records),
+            )
         for record in records:
             pool, out_port = self.database.route_to_fm(record)
             values = EventRouteCapability.encode(
@@ -547,12 +614,14 @@ class FabricManager:
             outstanding[0] += 1
             self.send_request(
                 message, record.route(), record.out_port,
-                callback=on_write_done,
+                callback=on_write_done, span_parent=span,
             )
         all_sent[0] = True
         if outstanding[0] == 0:
             done.succeed()
         yield done
+        if span is not None:
+            self.tracer.end(span, self.env.now)
         if not ready.triggered:
             ready.succeed(self.history[-1] if self.history else None)
 

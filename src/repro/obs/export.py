@@ -1,0 +1,294 @@
+"""Timeline exporters: Chrome-trace (Perfetto) JSON and JSONL.
+
+``chrome_trace_document`` renders a :class:`~repro.obs.session.
+TraceSession` as the Chrome Trace Event Format — the JSON dialect
+understood by ``chrome://tracing``, https://ui.perfetto.dev, and
+Speedscope.  Conventions used:
+
+* one process (``pid`` 1) named after the run; one *thread* per track
+  — the FM's serial tracks plus one per fabric device for packet hops
+  — with ``thread_name`` metadata so viewers show readable lanes;
+* spans on serial tracks become complete ``"X"`` events; spans on
+  concurrent tracks (PI-4 transactions, claims, port reads) become
+  async ``"b"``/``"e"`` pairs keyed by span id, which Perfetto draws
+  stacked even when they overlap;
+* instants (retries, PI-5 arrivals) and packet hops become ``"i"``
+  events; final metric values ride along as ``"C"`` counter events;
+* timestamps are sim seconds converted to microseconds (the format's
+  unit).
+
+Output is **byte-stable**: events are ordered by ``(timestamp,
+record sequence)`` — both deterministic simulator quantities — and
+serialized with sorted keys, so identical runs produce identical
+files (the golden determinism test pins this).
+
+``validate_chrome_trace`` structurally checks a document against the
+format (used by the CI trace-smoke step), and ``write_jsonl`` emits
+the same records as line-delimited JSON for ad-hoc tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .span import SERIAL_TRACKS
+
+#: Seconds -> microseconds (the Chrome trace timestamp unit).
+_US = 1e6
+
+#: Phase types the validator accepts.
+_KNOWN_PHASES = {"X", "B", "E", "b", "e", "n", "i", "I", "C", "M", "s",
+                 "t", "f"}
+
+
+def _clean_args(args: dict) -> dict:
+    return {k: v for k, v in args.items() if v is not None}
+
+
+def _packet_id_map(hops) -> Dict[int, int]:
+    """Dense per-session packet ids, in first-appearance order.
+
+    Raw ``pkt_id`` comes from a process-global counter, so a packet's
+    id depends on how many simulations ran earlier in the same
+    process.  Remapping keeps identical runs byte-identical while
+    preserving same-packet correlation within one trace.
+    """
+    ids: Dict[int, int] = {}
+    for hop in hops:
+        if hop.packet_id not in ids:
+            ids[hop.packet_id] = len(ids) + 1
+    return ids
+
+
+def chrome_trace_document(session, label: str = "repro") -> dict:
+    """Render a trace session as a Chrome Trace Event Format document."""
+    spans = session.spans
+    serial = set(SERIAL_TRACKS)
+
+    # Track -> tid assignment: span tracks in first-use order (a
+    # deterministic simulator quantity), then packet-hop device tracks
+    # in name order.
+    tids: Dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[track] = tid
+        return tid
+
+    for span in spans.spans:
+        tid_for(span.track)
+    for event in spans.instants:
+        tid_for(event.track)
+    if session.packets is not None:
+        for name in session.packets.devices():
+            tid_for(f"dev:{name}")
+
+    # (ts_us, source_rank, seq) totally orders the body; every
+    # component is deterministic, so the file is byte-stable.
+    body = []
+
+    def emit(ts: float, rank: int, seq: int, event: dict) -> None:
+        event["ts"] = ts * _US
+        event["pid"] = 1
+        body.append(((event["ts"], rank, seq), event))
+
+    for span in spans.spans:
+        args = _clean_args(span.args)
+        if span.track in serial:
+            emit(span.start, 0, span.seq_begin, {
+                "ph": "X", "name": span.name, "cat": span.cat,
+                "dur": (span.end - span.start) * _US,
+                "tid": tids[span.track], "args": args,
+            })
+        else:
+            common = {
+                "name": span.name, "cat": span.cat,
+                "id": f"0x{span.sid:x}", "tid": tids[span.track],
+            }
+            emit(span.start, 0, span.seq_begin,
+                 {"ph": "b", "args": args, **common})
+            emit(span.end, 0, span.seq_end, {"ph": "e", **common})
+    for event in spans.instants:
+        emit(event.time, 0, event.seq, {
+            "ph": "i", "s": "t", "name": event.name, "cat": event.cat,
+            "tid": tids[event.track], "args": _clean_args(event.args),
+        })
+    if session.packets is not None:
+        pkt_ids = _packet_id_map(session.packets.hops)
+        for hop in session.packets.hops:
+            args = {"pkt": pkt_ids[hop.packet_id], "pi": hop.pi}
+            if hop.port is not None:
+                args["port"] = hop.port
+            if hop.detail:
+                args["detail"] = hop.detail
+            emit(hop.time, 1, hop.seq, {
+                "ph": "i", "s": "t", "name": hop.kind, "cat": "packet",
+                "tid": tids[f"dev:{hop.device}"], "args": args,
+            })
+
+    end_ts = 0.0
+    if body:
+        end_ts = max(key[0] for key, _event in body)
+    if session.metrics is not None:
+        for name, doc in session.metrics.collect().items():
+            if doc["type"] in ("counter", "gauge"):
+                body.append(((end_ts, 2, len(body)), {
+                    "ph": "C", "name": name, "ts": end_ts, "pid": 1,
+                    "tid": 1, "args": {"value": doc["value"]},
+                }))
+
+    events: List[dict] = [
+        {"ph": "M", "pid": 1, "name": "process_name",
+         "args": {"name": label}},
+    ]
+    events.extend(
+        {"ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+         "args": {"name": track}}
+        for track, tid in tids.items()
+    )
+    body.sort(key=lambda item: item[0])
+    events.extend(event for _key, event in body)
+
+    other = dict(session.meta)
+    if session.packets is not None and session.packets.overflowed:
+        other["packet_hops_dropped"] = session.packets.overflowed
+    if session.metrics is not None and len(session.metrics):
+        other["metrics"] = session.metrics.collect()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def dump_chrome_trace(document: dict) -> str:
+    """Serialize deterministically (sorted keys, no whitespace)."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(session, path, label: str = "repro") -> dict:
+    """Write the Chrome-trace JSON file; returns the document."""
+    document = chrome_trace_document(session, label=label)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_chrome_trace(document))
+        handle.write("\n")
+    return document
+
+
+def validate_chrome_trace(document) -> List[str]:
+    """Structural check against the Chrome Trace Event Format.
+
+    Accepts a document dict (``{"traceEvents": [...]}``) or a bare
+    event list.  Returns a list of problems — empty means valid.
+    """
+    problems: List[str] = []
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+        if not isinstance(events, list):
+            return ["document has no 'traceEvents' list"]
+    elif isinstance(document, list):
+        events = document
+    else:
+        return [f"expected dict or list, got {type(document).__name__}"]
+
+    async_open: Dict[tuple, float] = {}
+    for i, event in enumerate(events):
+        label = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{label}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{label}: unknown phase {ph!r}")
+            continue
+        if "pid" not in event:
+            problems.append(f"{label}: missing pid")
+        if ph == "M":
+            if not isinstance(event.get("name"), str):
+                problems.append(f"{label}: metadata without name")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{label}: missing numeric ts")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{label}: missing name")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{label}: X event needs dur >= 0")
+        elif ph in ("b", "e"):
+            if "id" not in event:
+                problems.append(f"{label}: async event without id")
+                continue
+            key = (event.get("cat"), event["id"], event.get("name"))
+            if ph == "b":
+                if key in async_open:
+                    problems.append(
+                        f"{label}: async begin {key!r} already open"
+                    )
+                async_open[key] = ts
+            else:
+                begin_ts = async_open.pop(key, None)
+                if begin_ts is None:
+                    problems.append(
+                        f"{label}: async end {key!r} without begin"
+                    )
+                elif ts < begin_ts:
+                    problems.append(
+                        f"{label}: async end before its begin"
+                    )
+        elif ph in ("i", "I") and event.get("s", "t") not in ("g", "p", "t"):
+            problems.append(f"{label}: instant scope {event.get('s')!r}")
+    for key in async_open:
+        problems.append(f"async span {key!r} never ended")
+    return problems
+
+
+def write_jsonl(session, path, label: str = "repro") -> int:
+    """Write the session as line-delimited JSON records.
+
+    One ``meta`` record, then ``span``/``instant``/``packet`` records
+    ordered by ``(time, record sequence)``, then one ``metrics``
+    record.  Returns the number of lines written.
+    """
+    records = []
+    for span in session.spans.spans:
+        records.append(((span.start, 0, span.seq_begin), {
+            "type": "span", "id": span.sid, "parent": span.parent,
+            "name": span.name, "cat": span.cat, "track": span.track,
+            "start": span.start, "end": span.end,
+            "args": _clean_args(span.args),
+        }))
+    for event in session.spans.instants:
+        records.append(((event.time, 0, event.seq), {
+            "type": "instant", "parent": event.parent,
+            "name": event.name, "cat": event.cat, "track": event.track,
+            "time": event.time, "args": _clean_args(event.args),
+        }))
+    if session.packets is not None:
+        pkt_ids = _packet_id_map(session.packets.hops)
+        for hop in session.packets.hops:
+            records.append(((hop.time, 1, hop.seq), {
+                "type": "packet", "kind": hop.kind,
+                "device": hop.device, "port": hop.port,
+                "pkt": pkt_ids[hop.packet_id], "pi": hop.pi,
+                "time": hop.time, "detail": hop.detail or None,
+            }))
+    records.sort(key=lambda item: item[0])
+
+    lines = [{"type": "meta", "label": label, **session.meta}]
+    lines.extend(record for _key, record in records)
+    if session.metrics is not None and len(session.metrics):
+        lines.append({
+            "type": "metrics", "metrics": session.metrics.collect(),
+        })
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=True,
+                                    separators=(",", ":")))
+            handle.write("\n")
+    return len(lines)

@@ -1,0 +1,107 @@
+"""Packet lifecycle recording for trace export.
+
+The fabric already exposes a per-device trace hook (see
+:mod:`repro.fabric.trace`): every enqueue, transmission start,
+reception, corruption drop, link replay, forwarding decision, and
+delivery calls ``hook(kind, device, port_index, packet, detail)`` from
+the port/device hot paths.  :class:`PacketFlightRecorder` implements
+that protocol and records each call as a flat, timestamped
+:class:`PacketHop` suitable for timeline export — one instant per hop
+on the originating device's track.
+
+Unlike :class:`repro.fabric.trace.PacketTracer` (an interactive
+debugging ring buffer with filters and path queries), this recorder is
+a write-only capture buffer optimized for the exporter: it keeps
+insertion order, assigns a global sequence number per hop, and counts
+— rather than silently forgetting — anything beyond its capacity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: Default capture capacity.  A full mesh16 discovery produces a few
+#: thousand management-packet hops; the default leaves two orders of
+#: magnitude of headroom before capping.
+DEFAULT_LIMIT = 200_000
+
+
+class PacketHop:
+    """One observed packet event, flat for fast export."""
+
+    __slots__ = ("time", "kind", "device", "port", "packet_id", "pi",
+                 "detail", "seq")
+
+    def __init__(self, time: float, kind: str, device: str,
+                 port: Optional[int], packet_id: int, pi: int,
+                 detail: str, seq: int):
+        self.time = time
+        self.kind = kind
+        self.device = device
+        self.port = port
+        self.packet_id = packet_id
+        self.pi = pi
+        self.detail = detail
+        self.seq = seq
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<PacketHop {self.kind} pkt#{self.packet_id} "
+            f"@{self.device} t={self.time:.3g}>"
+        )
+
+
+class PacketFlightRecorder:
+    """Device trace hook capturing packet lifecycle events.
+
+    Install with ``device.trace_hook = recorder`` (or let
+    :class:`repro.obs.session.TraceSession` install it fabric-wide).
+    Purely passive: never schedules events, never touches RNG.
+    """
+
+    def __init__(self, limit: int = DEFAULT_LIMIT):
+        if limit < 1:
+            raise ValueError("recorder needs room for at least one hop")
+        self.hops: List[PacketHop] = []
+        self.limit = limit
+        #: Hops that arrived after the buffer filled (reported by the
+        #: exporter so a truncated capture is never mistaken for a
+        #: complete one).
+        self.overflowed = 0
+
+    def __call__(self, kind: str, device, port_index: Optional[int],
+                 packet, detail: str = "") -> None:
+        hops = self.hops
+        if len(hops) >= self.limit:
+            self.overflowed += 1
+            return
+        hops.append(PacketHop(
+            time=device.env.now,
+            kind=kind,
+            device=device.name,
+            port=port_index,
+            packet_id=packet.pkt_id,
+            pi=packet.header.pi,
+            detail=detail,
+            seq=len(hops),
+        ))
+
+    def devices(self) -> List[str]:
+        """Distinct device names seen, sorted (stable track order)."""
+        return sorted({hop.device for hop in self.hops})
+
+    def counts(self) -> dict:
+        """Hops recorded per kind."""
+        result: dict = {}
+        for hop in self.hops:
+            result[hop.kind] = result.get(hop.kind, 0) + 1
+        return result
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"<PacketFlightRecorder {len(self.hops)} hops"
+            f"{f', {self.overflowed} overflowed' if self.overflowed else ''}>"
+        )

@@ -86,6 +86,9 @@ class Transaction:
     arrived: bool = False
     #: Transmissions so far (1 = no retries yet).
     attempts: int = 1
+    #: Open observability span (:class:`repro.obs.span.Span`) covering
+    #: this transaction, when a tracer is attached.
+    span: Any = None
 
 
 class TimeoutPolicy:
@@ -178,20 +181,27 @@ class TransactionEngine:
         #: one clear the other.
         self.pending: Dict[int, Transaction] = {}
         self._tags = count((tag_salt << TAG_SALT_SHIFT) + 1)
+        #: Optional :class:`repro.obs.span.SpanTracer`.  ``None`` (the
+        #: default) keeps every hot path at a single ``is not None``
+        #: test; the tracer itself never schedules events or touches
+        #: RNG, so attaching it cannot perturb a run.
+        self.tracer = None
 
     # -- requester API -----------------------------------------------------
     def open(self, message, pool: TurnPool, out_port: Optional[int],
              callback: Callable, ctx: Any = None,
              retries: Optional[int] = None,
              timeout: Optional[float] = None,
-             stats: Optional[Any] = None) -> int:
+             stats: Optional[Any] = None,
+             span_parent: Optional[Any] = None) -> int:
         """Send a request; ``callback(completion_or_None, ctx)``.
 
         ``retries``/``timeout`` override the engine defaults.  An
         explicit ``timeout`` keeps a fixed retry cadence (the caller
         computed the give-up time); otherwise the timeout policy (when
         configured) derives the initial period and retries back off
-        exponentially.
+        exponentially.  ``span_parent`` nests the transaction's
+        observability span under the caller's span (tracing only).
         """
         tag = next(self._tags)
         message = replace(message, tag=tag)
@@ -209,6 +219,12 @@ class TransactionEngine:
             retries_left=self.max_retries if retries is None else retries,
             stats=stats, timeout=period, backoff=backoff,
         )
+        tracer = self.tracer
+        if tracer is not None:
+            entry.span = tracer.begin(
+                f"pi4:{type(message).__name__}", "pi4", self.env.now,
+                parent=span_parent, track="pi4", tag=tag,
+            )
         self.pending[tag] = entry
         self._transmit(entry)
         return tag
@@ -231,10 +247,18 @@ class TransactionEngine:
             self.counters.incr("stale_completions")
             return None
         self.counters.incr("completions_received")
+        if entry.span is not None and self.tracer is not None:
+            self.tracer.end(entry.span, self.env.now,
+                            outcome="completed", attempts=entry.attempts)
         return entry
 
     def cancel_all(self) -> None:
         """Forget every outstanding transaction (no callbacks fire)."""
+        if self.tracer is not None:
+            now = self.env.now
+            for entry in self.pending.values():
+                if entry.span is not None:
+                    self.tracer.end(entry.span, now, outcome="cancelled")
         self.pending.clear()
 
     # -- internals ---------------------------------------------------------
@@ -263,12 +287,21 @@ class TransactionEngine:
             self.counters.incr("retries")
             if entry.stats is not None:
                 entry.stats.retries += 1
+            if entry.span is not None and self.tracer is not None:
+                self.tracer.instant(
+                    "retransmit", "pi4", self.env.now,
+                    parent=entry.span, track="pi4",
+                    attempt=entry.attempts,
+                )
             self._transmit(entry)
             return
         del self.pending[tag]
         self.counters.incr("timeouts")
         if entry.stats is not None:
             entry.stats.timeouts += 1
+        if entry.span is not None and self.tracer is not None:
+            self.tracer.end(entry.span, self.env.now,
+                            outcome="timeout", attempts=entry.attempts)
         entry.callback(None, entry.ctx)
 
     def __repr__(self):  # pragma: no cover - debugging aid

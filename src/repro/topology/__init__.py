@@ -4,12 +4,21 @@ from .fattree import make_fattree
 from .irregular import make_irregular
 from .mesh import make_mesh
 from .spec import TopologySpec
-from .table1 import TABLE1_NAMES, table1_rows, table1_suite, table1_topology
+from .table1 import (
+    ALIASES,
+    TABLE1_NAMES,
+    canonical_name,
+    table1_rows,
+    table1_suite,
+    table1_topology,
+)
 from .torus import make_torus
 
 __all__ = [
+    "ALIASES",
     "TABLE1_NAMES",
     "TopologySpec",
+    "canonical_name",
     "make_fattree",
     "make_irregular",
     "make_mesh",

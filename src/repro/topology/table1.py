@@ -48,15 +48,44 @@ _BUILDERS: Dict[str, Callable[[], TopologySpec]] = {
 }
 
 
-def table1_topology(name: str) -> TopologySpec:
-    """Build one Table 1 topology by name."""
-    try:
-        return _BUILDERS[name]()
-    except KeyError:
+#: Shell-friendly aliases (``mesh16`` == ``"4x4 mesh"``).  The number
+#: is the switch count, matching how the paper's figures label the x
+#: axis.
+ALIASES: Dict[str, str] = {
+    "mesh9": "3x3 mesh",
+    "torus9": "3x3 torus",
+    "mesh16": "4x4 mesh",
+    "torus16": "4x4 torus",
+    "mesh36": "6x6 mesh",
+    "torus36": "6x6 torus",
+    "mesh64": "8x8 mesh",
+    "torus64": "8x8 torus",
+    "torus100": "10x10 torus",
+    "fattree4-2": "4-port 2-tree",
+    "fattree4-3": "4-port 3-tree",
+    "fattree4-4": "4-port 4-tree",
+    "fattree8-2": "8-port 2-tree",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a topology name or alias to its Table 1 name.
+
+    Raises :class:`ValueError` for anything that is neither.
+    """
+    resolved = ALIASES.get(name.strip().lower(), name)
+    if resolved not in _BUILDERS:
         raise ValueError(
             f"unknown Table 1 topology {name!r}; "
-            f"choose from {TABLE1_NAMES}"
-        ) from None
+            f"choose from {TABLE1_NAMES} "
+            f"(or aliases {sorted(ALIASES)})"
+        )
+    return resolved
+
+
+def table1_topology(name: str) -> TopologySpec:
+    """Build one Table 1 topology by name (aliases accepted)."""
+    return _BUILDERS[canonical_name(name)]()
 
 
 def table1_suite() -> List[TopologySpec]:

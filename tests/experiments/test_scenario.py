@@ -1,0 +1,188 @@
+"""Tests for the unified Scenario API and its legacy shims."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.executor import (
+    CHANGE,
+    CHURN,
+    Job,
+    churn_job,
+    reliability_job,
+    run_many,
+)
+from repro.experiments.runner import run_change_experiment
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.fabric.params import DEFAULT_PARAMS, FabricParams
+from repro.manager.timing import ProcessingTimeModel
+from repro.topology import make_mesh
+from repro.topology.table1 import table1_topology
+
+
+def _full_scenario() -> Scenario:
+    """A scenario with every optional field populated."""
+    return Scenario(
+        kind="churn",
+        topology="mesh9",
+        algorithm="serial_device",
+        manager="partial",
+        seed=3,
+        change=None,
+        timing=ProcessingTimeModel(fm_factor=2.0).to_dict(),
+        params=dataclasses.replace(
+            DEFAULT_PARAMS, bit_error_rate=1e-6
+        ).to_dict(),
+        max_retries=5,
+        faults=2,
+        mean_interval=1e-3,
+        verify_sample=1,
+        max_discovery_restarts=4,
+        restart_backoff=1e-4,
+        fm_options={"arrival_clears_timeout": True},
+    )
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Scenario(kind="frobnicate")
+
+    def test_unknown_manager_rejected(self):
+        with pytest.raises(ValueError, match="manager"):
+            Scenario(manager="imaginary")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            Scenario(algorithm="quantum")
+
+    def test_unknown_change_kind_rejected(self):
+        with pytest.raises(ValueError, match="change"):
+            Scenario(kind="change", change="explode_switch")
+
+    def test_bad_params_document_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown FabricParams"):
+            Scenario(params={"bit_eror_rate": 1e-6})  # typo
+
+    def test_model_objects_normalized_to_documents(self):
+        scenario = Scenario(
+            params=dataclasses.replace(DEFAULT_PARAMS,
+                                       bit_error_rate=1e-6),
+            timing=ProcessingTimeModel(fm_factor=2.0),
+        )
+        assert isinstance(scenario.params, dict)
+        assert isinstance(scenario.timing, dict)
+        assert scenario.fabric_params().bit_error_rate == 1e-6
+        assert scenario.timing_model().fm_factor == 2.0
+
+    def test_topology_alias_resolves(self):
+        assert Scenario(topology="mesh9").spec().name == "3x3 mesh"
+
+
+class TestSerialization:
+    def test_round_trip_is_lossless(self):
+        scenario = _full_scenario()
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_round_trip_of_defaults_is_lossless(self):
+        scenario = Scenario()
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_to_dict_always_emits_every_field(self):
+        document = Scenario().to_dict()
+        expected = {f.name for f in dataclasses.fields(Scenario)}
+        assert set(document) == expected | {"schema"}
+
+    def test_unknown_key_rejected(self):
+        document = Scenario().to_dict()
+        document["faultz"] = 3
+        with pytest.raises(ValueError, match="unknown Scenario"):
+            Scenario.from_dict(document)
+
+    def test_wrong_schema_rejected(self):
+        document = Scenario().to_dict()
+        document["schema"] = "repro/scenario/v0"
+        with pytest.raises(ValueError, match="schema"):
+            Scenario.from_dict(document)
+
+    def test_fabric_params_round_trip_is_lossless(self):
+        params = dataclasses.replace(DEFAULT_PARAMS, bit_error_rate=2e-6,
+                                     error_seed=9)
+        assert FabricParams.from_dict(params.to_dict()) == params
+
+    def test_fabric_params_unknown_key_rejected(self):
+        document = DEFAULT_PARAMS.to_dict()
+        document["bandwith"] = 1.0  # typo
+        with pytest.raises(ValueError, match="unknown FabricParams"):
+            FabricParams.from_dict(document)
+
+
+class TestJobs:
+    def test_job_carries_scenario_and_round_trips(self):
+        scenario = _full_scenario()
+        job = scenario.job(tag="t")
+        assert job.kind == CHURN
+        assert job.tag == "t"
+        assert Scenario.from_job(job) == scenario
+
+    def test_legacy_job_without_scenario_maps_field_by_field(self):
+        job = Job(kind=CHANGE, spec={"name": "x"}, algorithm="parallel",
+                  seed=4, change="add_switch",
+                  options={"manager": "partial"})
+        scenario = Scenario.from_job(job)
+        assert scenario.kind == "change"
+        assert scenario.change == "add_switch"
+        assert scenario.manager == "partial"
+        assert scenario.seed == 4
+        assert scenario.topology == {"name": "x"}
+
+    def test_unknown_job_kind_rejected(self):
+        job = Job(kind="teleport", spec={"name": "x"}, algorithm="parallel")
+        with pytest.raises(ValueError, match="job kind"):
+            Scenario.from_job(job)
+
+    def test_executor_routes_through_scenario(self):
+        scenario = Scenario(kind="change", topology="mesh9", seed=0)
+        direct = scenario.run().asdict()
+        via_executor = run_many([scenario.job()]).raise_if_failed()
+        assert via_executor.results[0].asdict() == direct
+
+
+class TestLegacyShims:
+    def test_run_change_experiment_warns_and_matches_scenario(self):
+        with pytest.warns(DeprecationWarning, match="Scenario"):
+            legacy = run_change_experiment(make_mesh(3, 3), seed=0)
+        scenario = Scenario(kind="change", topology="mesh9", seed=0)
+        assert legacy.asdict() == scenario.run().asdict()
+
+    def test_reliability_job_warns_and_builds_scenario_job(self):
+        params = dataclasses.replace(DEFAULT_PARAMS, bit_error_rate=1e-6)
+        with pytest.warns(DeprecationWarning, match="Scenario"):
+            job = reliability_job(table1_topology("3x3 mesh"),
+                                  "parallel", params, seed=2)
+        scenario = Scenario.from_job(job)
+        assert scenario.kind == "reliability"
+        assert scenario.seed == 2
+        assert scenario.fabric_params().bit_error_rate == 1e-6
+
+    def test_churn_job_warns_and_builds_scenario_job(self):
+        with pytest.warns(DeprecationWarning, match="Scenario"):
+            job = churn_job(table1_topology("3x3 mesh"), "parallel",
+                            seed=1, faults=2, manager="partial")
+        scenario = Scenario.from_job(job)
+        assert scenario.kind == "churn"
+        assert scenario.manager == "partial"
+        assert scenario.faults == 2
+
+
+class TestRunScenario:
+    def test_discover_returns_stats_with_extras(self):
+        stats = run_scenario(Scenario(kind="discover", topology="mesh9"))
+        assert stats.devices_found == 18
+        assert stats.mean_fm_time > 0
+        assert stats.database_correct is True
+
+    def test_change_defaults_to_remove_switch(self):
+        result = Scenario(kind="change", topology="mesh9", seed=0).run()
+        assert result.change == "remove_switch"
+        assert result.database_correct

@@ -1,0 +1,109 @@
+"""Tests for the typed metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.sim.monitor import Counter
+
+
+class TestCounterMetric:
+    def test_increments_accumulate(self):
+        metric = CounterMetric("requests")
+        metric.inc()
+        metric.inc(4)
+        assert metric.value == 5
+        assert metric.asdict() == {"type": "counter", "value": 5}
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            CounterMetric("requests").inc(-1)
+
+
+class TestGaugeMetric:
+    def test_set_overwrites(self):
+        metric = GaugeMetric("depth")
+        metric.set(3.0)
+        metric.set(1.5)
+        assert metric.value == 1.5
+        assert metric.asdict() == {"type": "gauge", "value": 1.5}
+
+    def test_record_keeps_time_series(self):
+        metric = GaugeMetric("depth")
+        metric.record(0.0, 1.0)
+        metric.record(1.0, 4.0)
+        assert metric.value == 4.0
+        assert metric.asdict()["samples"] == 2
+
+
+class TestHistogramMetric:
+    def test_buckets_are_cumulative_style_le(self):
+        metric = HistogramMetric("t", buckets=(1.0, 10.0))
+        for x in (0.5, 1.0, 5.0, 100.0):
+            metric.observe(x)
+        doc = metric.asdict()
+        assert doc["n"] == 4
+        # counts[i] observes x <= buckets[i]; overflow catches the rest.
+        assert doc["buckets"] == {"le_1": 2, "le_10": 1}
+        assert doc["overflow"] == 1
+        assert doc["min"] == 0.5
+        assert doc["max"] == 100.0
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramMetric("t", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_value_defaults_to_zero_for_absent_metric(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_collect_is_sorted_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1.0)
+        collected = registry.collect()
+        assert list(collected) == ["a", "b"]
+        json.dumps(collected)  # must not raise
+
+    def test_scrape_counter_snapshots_once(self):
+        raw = Counter()
+        raw.incr("tx", 3)
+        registry = MetricsRegistry()
+        registry.scrape_counter(raw, "port")
+        raw.incr("tx", 10)  # after the scrape: not reflected
+        assert registry.value("port.tx") == 3
+
+    def test_observe_counter_mirrors_live(self):
+        raw = Counter()
+        registry = MetricsRegistry()
+        registry.observe_counter(raw, "port")
+        raw.incr("tx", 2)
+        raw.incr("rx")
+        assert registry.value("port.tx") == 2
+        assert registry.value("port.rx") == 1
+
+    def test_render_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("fm.pi5").inc()
+        registry.histogram("fm.t").observe(1e-4)
+        text = registry.render(title="metrics")
+        assert "fm.pi5" in text
+        assert "fm.t" in text

@@ -1,0 +1,125 @@
+"""Tests for the span tracer: recording, nesting, validation."""
+
+import pytest
+
+from repro.obs import SpanTracer
+
+
+class TestRecording:
+    def test_begin_end_records_interval(self):
+        tracer = SpanTracer()
+        span = tracer.begin("discovery", "discovery", 1.0, algorithm="x")
+        tracer.end(span, 3.5, devices=4)
+        assert span.start == 1.0
+        assert span.end == 3.5
+        assert span.duration == 2.5
+        assert span.args == {"algorithm": "x", "devices": 4}
+
+    def test_end_is_idempotent(self):
+        tracer = SpanTracer()
+        span = tracer.begin("s", "c", 0.0)
+        tracer.end(span, 1.0)
+        tracer.end(span, 9.0, late=True)
+        assert span.end == 1.0
+        assert "late" not in span.args
+
+    def test_duration_of_open_span_raises(self):
+        tracer = SpanTracer()
+        span = tracer.begin("s", "c", 0.0)
+        with pytest.raises(ValueError):
+            span.duration
+
+    def test_parent_links_by_sid(self):
+        tracer = SpanTracer()
+        parent = tracer.begin("outer", "c", 0.0)
+        child = tracer.begin("inner", "c", 1.0, parent=parent)
+        assert child.parent == parent.sid
+        assert tracer.children_of(parent) == [child]
+
+    def test_sequence_numbers_are_global_and_monotonic(self):
+        tracer = SpanTracer()
+        a = tracer.begin("a", "c", 0.0)
+        event = tracer.instant("i", "c", 0.5)
+        b = tracer.begin("b", "c", 1.0, parent=a)
+        tracer.end(b, 2.0)
+        tracer.end(a, 3.0)
+        seqs = [a.seq_begin, event.seq, b.seq_begin, b.seq_end, a.seq_end]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_find_filters_by_name_and_cat(self):
+        tracer = SpanTracer()
+        a = tracer.begin("claim", "discovery", 0.0)
+        b = tracer.begin("claim", "other", 1.0)
+        tracer.begin("port_read", "discovery", 2.0)
+        assert tracer.find(name="claim") == [a, b]
+        assert tracer.find(name="claim", cat="discovery") == [a]
+        assert len(tracer.find(cat="discovery")) == 2
+
+    def test_finish_closes_dangling_spans(self):
+        tracer = SpanTracer()
+        closed = tracer.begin("done", "c", 0.0)
+        tracer.end(closed, 1.0)
+        open_a = tracer.begin("a", "c", 2.0)
+        open_b = tracer.begin("b", "c", 3.0)
+        assert tracer.open_count == 2
+        assert tracer.finish(9.0) == 2
+        assert tracer.open_count == 0
+        for span in (open_a, open_b):
+            assert span.end == 9.0
+            assert span.args["unfinished"] is True
+        assert "unfinished" not in closed.args
+        assert tracer.finish(10.0) == 0
+
+
+class TestValidate:
+    def test_clean_tree_has_no_problems(self):
+        tracer = SpanTracer()
+        root = tracer.begin("root", "c", 0.0, track="fm")
+        child = tracer.begin("child", "c", 1.0, parent=root, track="pi4")
+        tracer.end(child, 2.0)
+        tracer.end(root, 3.0)
+        assert tracer.validate() == []
+
+    def test_open_span_reported(self):
+        tracer = SpanTracer()
+        tracer.begin("open", "c", 0.0)
+        assert any("never closed" in p for p in tracer.validate())
+
+    def test_negative_duration_reported(self):
+        tracer = SpanTracer()
+        span = tracer.begin("bad", "c", 5.0)
+        tracer.end(span, 1.0)
+        assert any("negative duration" in p for p in tracer.validate())
+
+    def test_child_outside_parent_reported(self):
+        tracer = SpanTracer()
+        parent = tracer.begin("parent", "c", 0.0)
+        child = tracer.begin("child", "c", 1.0, parent=parent)
+        tracer.end(parent, 2.0)
+        tracer.end(child, 5.0)
+        assert any("outside parent" in p for p in tracer.validate())
+
+    def test_serial_track_overlap_reported(self):
+        tracer = SpanTracer()
+        a = tracer.begin("a", "c", 0.0, track="fm")
+        b = tracer.begin("b", "c", 1.0, track="fm")
+        tracer.end(a, 2.0)
+        tracer.end(b, 3.0)
+        assert any("overlaps" in p for p in tracer.validate())
+
+    def test_concurrent_track_overlap_allowed(self):
+        tracer = SpanTracer()
+        a = tracer.begin("a", "c", 0.0, track="pi4")
+        b = tracer.begin("b", "c", 1.0, track="pi4")
+        tracer.end(a, 2.0)
+        tracer.end(b, 3.0)
+        assert tracer.validate() == []
+
+    def test_touching_spans_on_serial_track_allowed(self):
+        tracer = SpanTracer()
+        a = tracer.begin("a", "c", 0.0, track="fm")
+        tracer.end(a, 1.0)
+        b = tracer.begin("b", "c", 1.0, track="fm")
+        tracer.end(b, 2.0)
+        assert tracer.validate() == []

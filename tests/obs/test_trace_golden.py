@@ -1,0 +1,111 @@
+"""Golden determinism tests for the observability layer.
+
+Two contracts are pinned here:
+
+1. **Tracing never perturbs the simulation.** A traced run's discovery
+   times and per-device stats digest are bit-identical to the untraced
+   goldens captured in ``tests/experiments/test_determinism.py`` — the
+   tracer pays only ``is not None`` checks, schedules no events, and
+   touches no RNG.
+2. **Trace export is byte-stable.** The same seed-0 scenario exports
+   the exact same Chrome-trace bytes every run, so trace files can be
+   diffed and archived like any other experiment artifact.
+"""
+
+import hashlib
+import json
+
+from repro.experiments import Scenario
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.obs import (
+    TraceSession,
+    chrome_trace_document,
+    discovery_phase_breakdown,
+    discovery_spans,
+    dump_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.topology import make_mesh
+
+# Pinned by tests/experiments/test_determinism.py (captured pre-PR 3).
+GOLDEN_STATS_DIGEST = (
+    "3abd0da75341d125d8ab7cc851e55aaf492f2445d0d632fe2ee0955e426aed29"
+)
+GOLDEN_PARALLEL_TIME = 0.0023844740000000058
+
+
+def _digest(fabric) -> str:
+    snap = {}
+    for name in sorted(fabric.devices):
+        dev = fabric.devices[name]
+        snap[name] = dev.stats.asdict()
+        for port in dev.ports:
+            stats = port.stats.asdict()
+            if stats:
+                snap[f"{name}.p{port.index}"] = stats
+    payload = json.dumps(snap, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestTracingDoesNotPerturb:
+    def test_traced_discovery_matches_untraced_goldens(self):
+        session = TraceSession()
+        setup = build_simulation(make_mesh(3, 3), algorithm="parallel",
+                                 tracer=session)
+        stats = run_until_ready(setup)
+        session.finalize(setup)
+        assert stats.discovery_time == GOLDEN_PARALLEL_TIME
+        assert _digest(setup.fabric) == GOLDEN_STATS_DIGEST
+        assert len(session.spans) > 0
+        assert len(session.packets) > 0
+
+    def test_traced_change_experiment_matches_untraced_golden(self):
+        scenario = Scenario(kind="change", topology="mesh9", seed=0)
+        untraced = scenario.run().asdict()
+        traced = scenario.run(tracer=TraceSession()).asdict()
+        assert traced == untraced
+        # The fig-6 seed-0 golden (test_determinism.py) holds traced.
+        assert traced["discovery_time"] == 0.0021016489999999993
+        assert traced["packets"] == 312
+        assert traced["changed_device"] == "sw_2_1"
+
+
+class TestGoldenTraceExport:
+    """The seed-0 fig-6 scenario on the 3x3 mesh."""
+
+    SCENARIO = Scenario(kind="change", topology="mesh9", seed=0)
+
+    def _export(self):
+        session = TraceSession()
+        self.SCENARIO.run(tracer=session)
+        return session, dump_chrome_trace(
+            chrome_trace_document(session, label="golden")
+        )
+
+    def test_export_is_byte_stable(self):
+        _, first = self._export()
+        _, second = self._export()
+        assert first == second
+
+    def test_span_tree_well_formed_and_schema_valid(self):
+        session, payload = self._export()
+        assert session.spans.validate() == []
+        assert session.meta["unfinished_spans"] == 0
+        assert validate_chrome_trace(json.loads(payload)) == []
+
+    def test_breakdown_covers_discovery_and_sums_exactly(self):
+        session, _ = self._export()
+        tops = discovery_spans(session.spans)
+        assert len(tops) == 2  # initial discovery + change assimilation
+        for top in tops:
+            row = discovery_phase_breakdown(session.spans, top)
+            assert row["total"] == top.duration
+            # Exact-sum construction: the columns total the reported
+            # discovery time with no residue.
+            assert (row["claim"] + row["port_read"] + row["other"]
+                    == row["total"])
+            # Acceptance bar: the span tree attributes >= 95% of the
+            # discovery window to a concrete protocol phase.
+            assert row["coverage"] >= 0.95
+        assert tops[0].args["trigger"] == "initial"
+        assert tops[1].args["trigger"] == "change"
