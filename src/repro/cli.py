@@ -22,6 +22,14 @@ Commands
     Run one traced scenario and export its span/packet timeline as a
     Chrome-trace JSON (load it in ``chrome://tracing`` or Perfetto),
     printing the per-phase discovery-time breakdown.
+``fuzz``
+    Sample seed-deterministic scenarios across the whole configuration
+    space, run them through the parallel executor, auto-shrink every
+    failure to a minimal reproducer, and (with ``--corpus``) archive
+    the reproducers as JSON regression-corpus entries.
+``replay``
+    Replay every scenario in a regression corpus directory and verify
+    each one passes (converged, correct database, clean audit).
 ``list``
     List the available topologies, aliases, algorithms, and managers.
 
@@ -63,6 +71,7 @@ from .experiments.reliability import (
     sweep_reliability,
 )
 from .experiments.report import render_kv, render_phase_breakdown
+from .experiments.shrink import DEFAULT_MAX_ATTEMPTS
 from .experiments.scenario import Scenario
 from .manager.timing import ALGORITHMS, PARALLEL, ProcessingTimeModel
 from .topology.table1 import ALIASES, TABLE1_NAMES, canonical_name
@@ -249,6 +258,44 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the underlying sweep "
                              "(1 = in-process; figure 7 is always serial)")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz scenarios, auto-shrink failures",
+        parents=[_profile_parent()],
+    )
+    fuzz.add_argument("--runs", type=int, default=50, metavar="N",
+                      help="scenarios to sample (default 50)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed every sampled scenario derives "
+                           "from (default 0)")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (1 = in-process)")
+    fuzz.add_argument("--corpus", metavar="DIR", default=None,
+                      help="write each failure's minimal scenario as a "
+                           "JSON corpus entry into DIR")
+    fuzz.add_argument("--shrink", default=True,
+                      action=argparse.BooleanOptionalAction,
+                      help="auto-shrink failures to minimal "
+                           "reproducers (default on)")
+    fuzz.add_argument("--max-shrink", type=int, metavar="N",
+                      default=DEFAULT_MAX_ATTEMPTS,
+                      help="candidate evaluations per shrink (default "
+                           f"{DEFAULT_MAX_ATTEMPTS})")
+    fuzz.add_argument("--inject", action="append", default=None,
+                      metavar="KEY=VALUE",
+                      help="force an FM constructor option into every "
+                           "sampled scenario (repeatable; VALUE is "
+                           "parsed as JSON, else kept as a string) — "
+                           "for exercising the find/shrink loop")
+
+    replay = sub.add_parser(
+        "replay", help="replay the regression corpus",
+        parents=[_profile_parent()],
+    )
+    replay.add_argument("--corpus", metavar="DIR", default="tests/corpus",
+                        help="corpus directory (default tests/corpus)")
+    replay.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = in-process)")
     return parser
 
 
@@ -476,6 +523,59 @@ def _cmd_churn(args) -> int:
     return 0 if all(r.converged and r.audit_ok for r in results) else 1
 
 
+def _parse_inject(pairs: Optional[List[str]]) -> Optional[dict]:
+    """``--inject KEY=VALUE`` flags as an FM-options dict.
+
+    Values parse as JSON (``true``, ``3``, ``0.5``); anything that
+    does not is kept as a plain string.
+    """
+    if not pairs:
+        return None
+    import json
+    options = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--inject expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            options[key] = json.loads(raw)
+        except ValueError:
+            options[key] = raw
+    return options
+
+
+def _cmd_fuzz(args) -> int:
+    from .experiments.fuzz import run_fuzz
+    report = run_fuzz(
+        args.runs, seed=args.seed, workers=args.jobs,
+        shrink=args.shrink, corpus_dir=args.corpus,
+        inject=_parse_inject(args.inject),
+        max_shrink_attempts=args.max_shrink,
+        progress=args.runs > 1,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args) -> int:
+    from .experiments.fuzz import replay_corpus
+    outcomes = replay_corpus(args.corpus, workers=args.jobs)
+    if not outcomes:
+        print(f"replay: no corpus entries under {args.corpus}")
+        return 1
+    failed = [o for o in outcomes if not o.ok]
+    for outcome in outcomes:
+        status = ("ok" if outcome.ok
+                  else f"FAIL {outcome.reason} ({outcome.detail})")
+        print(f"  {outcome.path.name}: {status}")
+    print(f"replay: {len(outcomes)} corpus entr"
+          f"{'y' if len(outcomes) == 1 else 'ies'}, "
+          f"{len(failed)} failure(s)")
+    return 0 if not failed else 1
+
+
 def _cmd_trace(args) -> int:
     manager, algorithm = resolve_variant(args.manager, args.algorithm)
     scenario = Scenario(
@@ -531,6 +631,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "reliability": _cmd_reliability,
         "trace": _cmd_trace,
+        "fuzz": _cmd_fuzz,
+        "replay": _cmd_replay,
     }
     command = commands.get(args.command)
     if command is None:

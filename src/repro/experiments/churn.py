@@ -185,6 +185,7 @@ def run_churn_experiment(
     max_discovery_restarts: int = 8,
     restart_backoff: float = 0.0,
     tracer=None,
+    fm_options: Optional[dict] = None,
 ) -> ChurnResult:
     """One churn soak: settle, inject ``faults`` mid-walk changes,
     run to quiescence, audit.
@@ -192,6 +193,8 @@ def run_churn_experiment(
     ``seed`` drives both the fault schedule and the convergence-guard
     sampling, so two runs with the same arguments are bit-for-bit
     identical regardless of which sweep worker executes them.
+    ``fm_options`` are extra keyword arguments for the FM constructor
+    (ablation switches).
     """
     setup = build_simulation(
         spec, algorithm=algorithm, timing=timing, params=params,
@@ -201,6 +204,7 @@ def run_churn_experiment(
         verify_sample=verify_sample,
         verify_seed=seed,
         tracer=tracer,
+        **dict(fm_options or {}),
     )
     run_until_ready(setup)
 

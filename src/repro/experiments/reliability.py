@@ -103,17 +103,20 @@ def run_reliability_experiment(
     max_retries: int = RELIABILITY_MAX_RETRIES,
     manager: str = "full",
     tracer=None,
+    fm_options: Optional[dict] = None,
 ) -> ReliabilityResult:
     """One full discovery of ``spec`` under ``params``'s error model.
 
     ``seed`` feeds the per-link RNG streams (``error_seed``), so two
     runs with the same arguments are bit-for-bit identical regardless
-    of which sweep worker executes them.
+    of which sweep worker executes them.  ``fm_options`` are extra
+    keyword arguments for the FM constructor (ablation switches).
     """
     params = replace(params, error_seed=seed)
     setup = build_simulation(
         spec, algorithm=algorithm, timing=timing, params=params,
         max_retries=max_retries, manager=manager, tracer=tracer,
+        **dict(fm_options or {}),
     )
     stats = run_until_ready(setup)
     if tracer is not None:

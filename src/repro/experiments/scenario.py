@@ -56,6 +56,24 @@ _SCHEMA = "repro/scenario/v1"
 _ALGORITHM_KEYS = tuple(ALGORITHMS)
 
 
+def _normalize_document(value):
+    """Deep copy of a JSON-ish document with tuples lowered to lists.
+
+    Stored scenario documents must already be in JSON normal form so
+    ``Scenario.from_dict(json.loads(json.dumps(s.to_dict()))) == s``
+    holds for every field — a spec document hand-built with tuple
+    links must compare equal to its archived round trip.  The deep
+    copy also severs every reference to caller-owned containers, so
+    neither mutating the input afterwards nor mutating a rendered
+    document can corrupt a frozen scenario.
+    """
+    if isinstance(value, dict):
+        return {key: _normalize_document(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize_document(v) for v in value]
+    return value
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A complete, portable description of one experiment run.
@@ -138,12 +156,22 @@ class Scenario:
         # description time, not inside a sweep worker.
         params = self.params
         if isinstance(params, FabricParams):
-            object.__setattr__(self, "params", params.to_dict())
+            params = params.to_dict()
         elif params is not None:
             FabricParams.from_dict(params)  # strict: raises on unknown
         timing = self.timing
         if isinstance(timing, ProcessingTimeModel):
-            object.__setattr__(self, "timing", timing.to_dict())
+            timing = timing.to_dict()
+        elif timing is not None:
+            ProcessingTimeModel.from_dict(timing)  # strict, like params
+        # Store every document field in JSON normal form (deep-copied,
+        # tuples lowered to lists) so serialization round-trips are
+        # exact and no stored container aliases caller state.
+        for name, value in (("params", params), ("timing", timing),
+                            ("topology", self.topology),
+                            ("fm_options", self.fm_options)):
+            if isinstance(value, dict) or value is not getattr(self, name):
+                object.__setattr__(self, name, _normalize_document(value))
 
     # -- materialization -----------------------------------------------------
     def spec(self) -> TopologySpec:
@@ -166,12 +194,17 @@ class Scenario:
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict:
-        """Lossless JSON-ready rendering (every field, always)."""
+        """Lossless JSON-ready rendering (every field, always).
+
+        Document fields are deep-copied, so mutating the returned
+        document (or anything nested in it) never touches the frozen
+        scenario.
+        """
         document = {"schema": _SCHEMA}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
             if isinstance(value, dict):
-                value = dict(value)
+                value = _normalize_document(value)
             document[spec_field.name] = value
         return document
 
@@ -208,7 +241,8 @@ class Scenario:
             "churn": CHURN,
         }[self.kind]
         spec_doc = (
-            dict(self.topology) if isinstance(self.topology, dict)
+            _normalize_document(self.topology)
+            if isinstance(self.topology, dict)
             else spec_to_dict(self.spec())
         )
         options = None
@@ -347,6 +381,7 @@ def _run_reliability(scenario: Scenario, tracer=None):
         params=scenario.fabric_params(), seed=scenario.seed,
         timing=scenario.timing_model(), max_retries=retries,
         manager=scenario.manager, tracer=tracer,
+        fm_options=scenario.fm_options,
     )
 
 
@@ -362,7 +397,7 @@ def _run_churn(scenario: Scenario, tracer=None):
         scenario.spec(), algorithm=scenario.algorithm,
         seed=scenario.seed, manager=scenario.manager,
         timing=scenario.timing_model(), params=scenario.fabric_params(),
-        tracer=tracer, **kwargs,
+        tracer=tracer, fm_options=scenario.fm_options, **kwargs,
     )
 
 

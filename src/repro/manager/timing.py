@@ -120,7 +120,24 @@ class ProcessingTimeModel:
 
     @classmethod
     def from_dict(cls, document: dict) -> "ProcessingTimeModel":
-        """Rebuild a model from :meth:`to_dict` output."""
+        """Rebuild a model from :meth:`to_dict` output.
+
+        Unknown and missing keys raise :class:`ValueError` — a
+        misspelled factor silently reverting to the default would
+        invalidate a whole sweep.
+        """
+        known = ("fm_base", "fm_slope", "device_time", "fm_factor",
+                 "device_factor")
+        unknown = sorted(set(document) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown ProcessingTimeModel fields: {', '.join(unknown)}"
+            )
+        missing = sorted(set(known) - set(document))
+        if missing:
+            raise ValueError(
+                f"missing ProcessingTimeModel fields: {', '.join(missing)}"
+            )
         return cls(
             fm_base=dict(document["fm_base"]),
             fm_slope=document["fm_slope"],

@@ -1,7 +1,7 @@
 """Topology generators: the paper's Table 1 families plus extras."""
 
 from .fattree import make_fattree
-from .irregular import make_irregular
+from .irregular import make_irregular, parse_irregular_name
 from .mesh import make_mesh
 from .spec import TopologySpec
 from .table1 import (
@@ -23,6 +23,7 @@ __all__ = [
     "make_irregular",
     "make_mesh",
     "make_torus",
+    "parse_irregular_name",
     "table1_rows",
     "table1_suite",
     "table1_topology",

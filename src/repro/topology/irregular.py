@@ -8,27 +8,55 @@ connected switch graph with bounded degree, one endpoint per switch.
 from __future__ import annotations
 
 import random
-from typing import Optional
+import re
+from typing import Optional, Tuple
 
 from .spec import TopologySpec
 
 #: Port reserved for the local endpoint on every switch.
 ENDPOINT_PORT = 0
 
+#: Shape of an irregular spec's name; the recorded ``(num_switches,
+#: extra_links, seed)`` make every spec regenerable from its name
+#: alone (the fuzzer's shrinker relies on this to rebuild smaller
+#: variants of a failing topology).
+_NAME_RE = re.compile(
+    r"^irregular-(\d+)\+(\d+) \(seed=(-?\d+)\)$"
+)
+
+
+def parse_irregular_name(name: str) -> Optional[Tuple[int, int, int]]:
+    """``(num_switches, extra_links, seed)`` recorded in an irregular
+    spec's name, or ``None`` if the name is not one."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        return None
+    return tuple(int(group) for group in match.groups())
+
 
 def make_irregular(num_switches: int, extra_links: int = 0,
                    switch_ports: int = 16,
-                   seed: Optional[int] = None) -> TopologySpec:
+                   seed: int = 0) -> TopologySpec:
     """Build a random connected topology.
 
     A random spanning tree guarantees connectivity; ``extra_links``
     additional random links add cycles and redundant paths (the
     situations where duplicate-detection via DSN matters).
+
+    ``seed`` must be an explicit integer: the generated spec records
+    it in its name, so any irregular topology — including one embedded
+    in an archived :class:`~repro.experiments.scenario.Scenario` — is
+    replayable exactly.
     """
     if num_switches < 1:
         raise ValueError("need at least one switch")
     if switch_ports < 4:
         raise ValueError("irregular switches need at least 4 ports")
+    if seed is None or not isinstance(seed, int):
+        raise ValueError(
+            "make_irregular needs an explicit integer seed: the spec "
+            "records it so the topology is reproducible"
+        )
     rng = random.Random(seed)
     spec = TopologySpec(
         name=f"irregular-{num_switches}+{extra_links} (seed={seed})",

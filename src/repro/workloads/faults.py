@@ -158,14 +158,19 @@ class FaultInjector:
             if self._stopping:
                 break
             if self.during_discovery and not _fm_busy(self.fm):
-                # Hold the fault until the FM is mid-walk (bounded, so
-                # a quiet fabric cannot stall the schedule forever).
-                held = 0.0
-                while held < self.max_hold and not _fm_busy(self.fm):
-                    self._wait = self.env.timeout(self.poll_interval)
+                # Hold the fault until the FM is mid-walk, bounded by
+                # an env-time deadline so a quiet fabric cannot stall
+                # the schedule forever.  Measuring against env.now
+                # (rather than tallying poll_interval per wait) honors
+                # max_hold exactly even when a wait completes early or
+                # is interrupted.
+                deadline = self.env.now + self.max_hold
+                while self.env.now < deadline and not _fm_busy(self.fm):
+                    self._wait = self.env.timeout(
+                        min(self.poll_interval, deadline - self.env.now)
+                    )
                     yield self._wait
                     self._wait = None
-                    held += self.poll_interval
                     if self._stopping:
                         break
                 if self._stopping:

@@ -80,3 +80,41 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFuzzCli:
+    def test_fuzz_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--runs", "4", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "4 scenario(s)" in out
+        assert "0 failure(s)" in out
+
+    def test_fuzz_injected_failure_exits_one_and_writes_corpus(
+            self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        code = main(["fuzz", "--runs", "2", "--seed", "0",
+                     "--inject", "bogus_cli_option=true",
+                     "--corpus", str(corpus)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "error:TypeError" in out
+        assert list(corpus.glob("*.json"))
+
+    def test_fuzz_no_shrink_flag(self, capsys):
+        code = main(["fuzz", "--runs", "1", "--seed", "0",
+                     "--no-shrink", "--inject", "bogus=1"])
+        assert code == 1
+
+    def test_fuzz_bad_inject_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--runs", "1", "--inject", "not-a-pair"])
+
+    def test_replay_checked_in_corpus(self, capsys):
+        assert main(["replay", "--corpus", "tests/corpus",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+
+    def test_replay_empty_directory_exits_one(self, capsys, tmp_path):
+        assert main(["replay", "--corpus", str(tmp_path)]) == 1
+        assert "no corpus entries" in capsys.readouterr().out

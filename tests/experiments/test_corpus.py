@@ -1,0 +1,53 @@
+"""Regression-corpus replay: every checked-in entry must pass.
+
+``tests/corpus/`` holds minimal scenarios the fuzzing lab archived —
+seeded coverage entries plus shrunk reproducers of fixed bugs.  On a
+clean tree each entry replays to a pass: converged, correct database,
+clean audit.  A failure here means a regression resurrected an
+archived bug.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fuzz import (
+    CORPUS_SCHEMA,
+    corpus_filename,
+    evaluate_scenario,
+    iter_corpus,
+    load_corpus_entry,
+    render_corpus_entry,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+ENTRIES = iter_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.name)
+class TestCorpusEntry:
+    def test_entry_is_well_formed(self, path):
+        document, scenario = load_corpus_entry(path)
+        assert document["schema"] == CORPUS_SCHEMA
+        assert document["reason"]
+        # The filename is the content address of the scenario ...
+        assert path.name == corpus_filename(scenario)
+        # ... and the bytes are the canonical rendering (so a manual
+        # edit that drifts from normal form fails loudly here).
+        assert path.read_text() == render_corpus_entry(document)
+        # The embedded scenario survives a JSON round trip exactly.
+        wire = json.loads(json.dumps(document["scenario"]))
+        assert scenario.to_dict() == wire
+
+    def test_entry_replays_clean(self, path):
+        _, scenario = load_corpus_entry(path)
+        verdict = evaluate_scenario(scenario)
+        assert verdict is None, (
+            f"{path.name} regressed: {verdict[0]} ({verdict[1]})"
+        )

@@ -186,3 +186,162 @@ class TestRunScenario:
         result = Scenario(kind="change", topology="mesh9", seed=0).run()
         assert result.change == "remove_switch"
         assert result.database_correct
+
+
+class TestDocumentIsolation:
+    """``to_dict``/``from_dict`` must never alias the frozen scenario."""
+
+    def test_mutating_rendered_document_leaves_scenario_intact(self):
+        scenario = _full_scenario()
+        before = scenario.to_dict()
+        document = scenario.to_dict()
+        document["params"]["bit_error_rate"] = 0.5
+        document["fm_options"]["extra"] = True
+        document["timing"]["fm_base"]["parallel"] = 1.0
+        assert scenario.to_dict() == before
+
+    def test_mutating_constructor_input_leaves_scenario_intact(self):
+        from repro.experiments.io import spec_to_dict
+        from repro.topology import make_irregular
+        topology = spec_to_dict(make_irregular(4, extra_links=1,
+                                               switch_ports=8, seed=2))
+        options = {"arrival_clears_timeout": True}
+        scenario = Scenario(kind="discover", topology=topology,
+                            fm_options=options)
+        before = scenario.to_dict()
+        topology["switches"].append(["rogue", 4])
+        options["rogue"] = True
+        assert scenario.to_dict() == before
+
+    def test_job_spec_does_not_alias_scenario_topology(self):
+        from repro.experiments.io import spec_to_dict
+        from repro.topology import make_irregular
+        scenario = Scenario(
+            kind="discover",
+            topology=spec_to_dict(make_irregular(4, extra_links=0,
+                                                 switch_ports=8, seed=1)),
+        )
+        job = scenario.job()
+        job.spec["switches"].append(["rogue", 4])
+        assert "rogue" not in str(scenario.topology)
+
+
+class TestJsonNormalForm:
+    def test_tuples_normalize_to_lists_on_construction(self):
+        from repro.experiments.io import spec_to_dict
+        from repro.topology import make_irregular
+        document = spec_to_dict(make_irregular(4, extra_links=1,
+                                               switch_ports=8, seed=2))
+        tupled = dict(document)
+        tupled["switches"] = tuple(tuple(s) for s in document["switches"])
+        tupled["links"] = tuple(tuple(l) for l in document["links"])
+        assert Scenario(topology=tupled) == Scenario(topology=document)
+
+    def test_json_round_trip_equals_original(self):
+        import json
+        for scenario in (_full_scenario(), Scenario()):
+            wire = json.loads(json.dumps(scenario.to_dict()))
+            assert Scenario.from_dict(wire) == scenario
+
+    def test_embedded_spec_json_round_trip_equals_original(self):
+        import json
+        from repro.experiments.io import spec_to_dict
+        from repro.topology import make_irregular
+        scenario = Scenario(
+            kind="change", change="add_switch",
+            topology=spec_to_dict(make_irregular(5, extra_links=2,
+                                                 switch_ports=8, seed=4)),
+        )
+        wire = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(wire) == scenario
+
+
+class TestEagerTimingValidation:
+    def test_missing_timing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing ProcessingTime"):
+            Scenario(timing={"fm_factor": 2.0})
+
+    def test_unknown_timing_fields_rejected(self):
+        document = ProcessingTimeModel().to_dict()
+        document["fm_fator"] = 2.0  # the misspelling that must not pass
+        with pytest.raises(ValueError, match="unknown ProcessingTime"):
+            Scenario(timing=document)
+
+    def test_invalid_timing_values_rejected(self):
+        document = ProcessingTimeModel().to_dict()
+        document["fm_factor"] = -1.0
+        with pytest.raises(ValueError, match="positive"):
+            Scenario(timing=document)
+
+    def test_timing_model_object_accepted_and_normalized(self):
+        model = ProcessingTimeModel(fm_factor=2.0)
+        scenario = Scenario(timing=model)
+        assert scenario.timing == model.to_dict()
+        assert scenario.timing_model() == model
+
+
+class TestScenarioProperties:
+    """Property-style round trips over generated scenarios."""
+
+    def test_sampled_scenarios_round_trip(self):
+        import json
+        from repro.experiments.fuzz import sample_scenario
+        for index in range(60):
+            scenario = sample_scenario(11, index)
+            document = scenario.to_dict()
+            wire = json.loads(json.dumps(document))
+            rebuilt = Scenario.from_dict(wire)
+            assert rebuilt == scenario
+            assert rebuilt.to_dict() == document
+
+    def test_hypothesis_round_trip(self):
+        import json
+        from hypothesis import given, settings, strategies as st
+        from repro.experiments.scenario import CHANGE_KINDS, KINDS
+        from repro.manager.timing import ALGORITHMS
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            kind=st.sampled_from(KINDS),
+            topology=st.sampled_from(("mesh9", "torus9", "fattree4-2")),
+            algorithm=st.sampled_from(ALGORITHMS),
+            manager=st.sampled_from(("full", "partial")),
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+            change=st.none() | st.sampled_from(CHANGE_KINDS),
+            faults=st.none() | st.integers(min_value=1, max_value=8),
+            mean_interval=st.none() | st.sampled_from((1e-3, 2e-3)),
+            fm_factor=st.sampled_from((0.5, 1.0, 4.0)),
+            with_timing=st.booleans(),
+        )
+        def check(kind, topology, algorithm, manager, seed, change,
+                  faults, mean_interval, fm_factor, with_timing):
+            timing = (ProcessingTimeModel(fm_factor=fm_factor)
+                      if with_timing else None)
+            scenario = Scenario(
+                kind=kind, topology=topology, algorithm=algorithm,
+                manager=manager, seed=seed, change=change,
+                faults=faults, mean_interval=mean_interval,
+                timing=timing,
+            )
+            wire = json.loads(json.dumps(scenario.to_dict()))
+            assert Scenario.from_dict(wire) == scenario
+
+        check()
+
+
+class TestFmOptionsRouting:
+    """fm_options must reach the FM constructor for *every* kind."""
+
+    def test_reliability_and_churn_reject_bogus_fm_option(self):
+        for kind in ("reliability", "churn"):
+            scenario = Scenario(kind=kind, topology="4-port 2-tree",
+                                faults=1 if kind == "churn" else None,
+                                fm_options={"bogus_option": 1})
+            with pytest.raises(TypeError, match="bogus_option"):
+                scenario.run()
+
+    def test_reliability_accepts_real_fm_option(self):
+        scenario = Scenario(kind="reliability", topology="4-port 2-tree",
+                            fm_options={"arrival_clears_timeout": True})
+        result = scenario.run()
+        assert result.database_correct

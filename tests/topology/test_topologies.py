@@ -188,6 +188,47 @@ class TestIrregular:
         with pytest.raises(ValueError):
             make_irregular(0)
 
+    def test_seed_must_be_an_explicit_integer(self):
+        with pytest.raises(ValueError, match="explicit integer seed"):
+            make_irregular(5, seed=None)
+        with pytest.raises(ValueError, match="explicit integer seed"):
+            make_irregular(5, seed="7")
+
+    def test_default_seed_is_reproducible(self):
+        assert make_irregular(6, extra_links=2).links == \
+            make_irregular(6, extra_links=2, seed=0).links
+
+    def test_name_records_the_generator_arguments(self):
+        from repro.topology import parse_irregular_name
+        spec = make_irregular(7, extra_links=3, seed=91)
+        assert parse_irregular_name(spec.name) == (7, 3, 91)
+        assert parse_irregular_name("irregular-4+1 (seed=-2)") == (4, 1, -2)
+
+    def test_parse_rejects_foreign_names(self):
+        from repro.topology import parse_irregular_name
+        for name in ("3x3 mesh", "irregular", "irregular-4+1",
+                     "irregular-4+1 (seed=x)"):
+            assert parse_irregular_name(name) is None
+
+    def test_parsed_name_regenerates_the_same_spec(self):
+        from repro.topology import parse_irregular_name
+        spec = make_irregular(8, extra_links=2, switch_ports=8, seed=13)
+        n, e, s = parse_irregular_name(spec.name)
+        again = make_irregular(n, extra_links=e, switch_ports=8, seed=s)
+        assert again == spec
+
+    def test_spec_document_round_trip_is_lossless(self):
+        from repro.experiments.io import spec_from_dict, spec_to_dict
+        spec = make_irregular(6, extra_links=2, switch_ports=8, seed=5)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_spec_document_json_round_trip_is_lossless(self):
+        import json
+        from repro.experiments.io import spec_from_dict, spec_to_dict
+        spec = make_irregular(6, extra_links=2, switch_ports=8, seed=5)
+        wire = json.loads(json.dumps(spec_to_dict(spec)))
+        assert spec_from_dict(wire) == spec
+
 
 class TestTable1:
     def test_all_names_build(self):
