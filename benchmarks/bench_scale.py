@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Mega-scale fabric benchmark: build + discovery across generator families.
+
+Each point of the sweep constructs one parameterised topology
+(Dragonfly or two-layer fat-tree, see :mod:`repro.topology`), runs a
+full parallel discovery to completion, and records:
+
+* ``<point>_build_s``      — wall seconds to generate the spec and
+  instantiate the fabric (devices, ports, config spaces, links);
+* ``<point>_discover_s``   — wall seconds for the complete discovery
+  (the FM ready event: database complete, event routes programmed);
+* ``<point>_events_per_s`` — kernel events processed per wall second
+  during discovery (the scale-run analogue of the kernel bench's raw
+  events metric);
+* ``<point>_peak_rss_mb``  — peak resident set of the whole run.
+
+Every point runs in its own spawned child process so peak-RSS numbers
+are not polluted by earlier points, and an out-of-memory point cannot
+take the sweep down with it.
+
+Results are appended to ``BENCH_scale.json`` at the repository root
+(see :mod:`repro.experiments.bench_report`).  ``--quick`` shrinks the
+sweep to a few-hundred-device smoke suitable for CI; quick metrics are
+tracked separately and never compared against the full baseline.  The
+headline metric of the full sweep is the 10,000-device Dragonfly
+discovery (``dragonfly_k16m125e4_discover_s``), gateable with
+``--require``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.experiments.bench_report import record_run, render_entry
+
+REPORT_PATH = Path(__file__).parent.parent / "BENCH_scale.json"
+
+#: Full sweep: one ~1k and one ~10k point per generator family.  The
+#: 10k Dragonfly (2000 radix-27 switches, 8000 endpoints) is the
+#: acceptance point: exactly 10,000 devices.
+FULL_POINTS = (
+    "dragonfly-k8m62",      # 496 switches + 496 endpoints = 992 devices
+    "dragonfly-k16m125e4",  # 2000 switches + 8000 endpoints = 10000
+    "fattree2-1024",        # 1024 endpoints + 32 edge + 32 core = 1088
+    "fattree2-8192",        # 8192 endpoints + 128 edge + 64 core = 8384
+)
+
+#: CI smoke: a few hundred devices per family, seconds not minutes.
+QUICK_POINTS = (
+    "dragonfly-k6m13",      # 78 switches + 78 endpoints = 156 devices
+    "fattree2-256",         # 256 endpoints + 16 edge + 16 core = 288
+)
+
+#: Headline metric gated by ``--require`` (full mode).
+HEADLINE = "dragonfly_k16m125e4_discover_s"
+
+
+def _metric_key(name: str) -> str:
+    return name.replace("-", "_")
+
+
+def _measure_point(name: str, queue) -> None:
+    """Child-process body: build, discover, report one sweep point."""
+    import resource
+
+    from repro.experiments.runner import build_simulation, run_until_ready
+    from repro.topology import resolve_topology
+
+    t0 = time.perf_counter()
+    spec = resolve_topology(name)
+    setup = build_simulation(spec, algorithm="parallel")
+    build_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    stats = run_until_ready(setup)
+    discover_s = time.perf_counter() - t1
+
+    devices = len(setup.fabric.devices)
+    if stats.devices_found != devices:
+        raise AssertionError(
+            f"{name}: discovery found {stats.devices_found} of "
+            f"{devices} devices"
+        )
+    events = next(setup.env._eid)  # events scheduled since construction
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    queue.put({
+        "devices": devices,
+        "build_s": round(build_s, 3),
+        "discover_s": round(discover_s, 3),
+        "events": events,
+        "events_per_s": round(events / discover_s, 1),
+        "peak_rss_mb": round(peak_rss_mb, 1),
+        "sim_time_ms": round(setup.env.now * 1e3, 3),
+    })
+
+
+def run_point(name: str) -> dict:
+    """Measure one sweep point in a fresh spawned interpreter."""
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    proc = ctx.Process(target=_measure_point, args=(name, queue))
+    proc.start()
+    result = queue.get()  # blocks until the child reports
+    proc.join()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"sweep point {name} exited {proc.exitcode}")
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="few-hundred-device smoke (CI; tracked apart)")
+    parser.add_argument("--points", nargs="*", metavar="NAME",
+                        help="override the sweep with explicit topology "
+                             "names (e.g. dragonfly-k8m17 fattree2-512)")
+    parser.add_argument("--label", default="current",
+                        help="label recorded in BENCH_scale.json")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="store this run as the trajectory baseline")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and print only; do not touch the JSON")
+    parser.add_argument("--require", type=float, default=None, metavar="X",
+                        help="exit non-zero unless the 10k-Dragonfly "
+                             "discovery speedup vs the baseline is at "
+                             "least X (full mode only)")
+    args = parser.parse_args(argv)
+
+    points = tuple(args.points) if args.points else (
+        QUICK_POINTS if args.quick else FULL_POINTS
+    )
+    print(f"scale bench ({'quick' if args.quick else 'full'} mode, "
+          f"{len(points)} points)")
+
+    metrics: dict = {}
+    units: dict = {}
+    for name in points:
+        result = run_point(name)
+        key = _metric_key(name)
+        metrics[f"{key}_build_s"] = result["build_s"]
+        metrics[f"{key}_discover_s"] = result["discover_s"]
+        metrics[f"{key}_events_per_s"] = result["events_per_s"]
+        metrics[f"{key}_peak_rss_mb"] = result["peak_rss_mb"]
+        units[f"{key}_build_s"] = (
+            f"wall seconds to build {result['devices']} devices"
+        )
+        units[f"{key}_discover_s"] = (
+            f"wall seconds to discover {result['devices']} devices"
+        )
+        units[f"{key}_events_per_s"] = "kernel events per wall second"
+        units[f"{key}_peak_rss_mb"] = "peak resident set (MiB)"
+        print(f"  {name:<22s} devices={result['devices']:>6,} "
+              f"build={result['build_s']:>7.2f}s "
+              f"discover={result['discover_s']:>7.2f}s "
+              f"events/s={result['events_per_s']:>10,.0f} "
+              f"rss={result['peak_rss_mb']:>7.1f}MB")
+
+    if args.no_write:
+        return 0
+
+    entry = record_run(
+        REPORT_PATH, benchmark="scale", label=args.label, metrics=metrics,
+        units=units, quick=args.quick, as_baseline=args.record_baseline,
+    )
+    print()
+    print(render_entry(entry))
+    print(f"[trajectory: {REPORT_PATH}]")
+
+    if args.require is not None and not args.quick:
+        speedup = entry.get("speedup_vs_baseline", {}).get(HEADLINE)
+        if speedup is None:
+            print("no baseline to compare against", file=sys.stderr)
+            return 2
+        if speedup < args.require:
+            print(f"10k-Dragonfly speedup {speedup:.2f}x below required "
+                  f"{args.require:.2f}x", file=sys.stderr)
+            return 1
+        print(f"10k-Dragonfly speedup {speedup:.2f}x >= required "
+              f"{args.require:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

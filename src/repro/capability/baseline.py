@@ -43,8 +43,12 @@ PORT_STATE_UP = 0x1
 GENERAL_INFO_DWORDS = 6
 #: Dwords per port block.
 PORT_BLOCK_DWORDS = 2
-#: Maximum ports a baseline capability can describe (spec: 32 blocks).
-MAX_PORT_BLOCKS = 32
+#: Maximum ports a baseline capability can describe.  The ASI spec
+#: caps this at 32 blocks; the model extends it to 128 so the
+#: mega-scale generator families (Dragonfly groups, two-layer fat-tree
+#: cores) can use high-radix switches.  PI-4 offsets are a full dword,
+#: so the wire format is unaffected.
+MAX_PORT_BLOCKS = 128
 
 
 def port_block_offset(port_index: int) -> int:

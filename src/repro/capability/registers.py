@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 DWORD_MASK = 0xFFFFFFFF
 
@@ -16,26 +16,34 @@ class RegisterBlock:
 
     All configuration-space state is stored as dwords, mirroring how
     the specification exposes device information to PI-4 accesses.
+    Registers power up as all-zeros, so the backing list is only
+    materialized on the first write — a mega-scale fabric carries
+    tens of thousands of blocks that are never written.
     """
 
-    __slots__ = ("_regs",)
+    __slots__ = ("_regs", "_size")
 
     def __init__(self, size: int):
         if size < 1:
             raise ValueError("register block needs at least one dword")
-        self._regs: List[int] = [0] * size
+        self._size = size
+        self._regs: Optional[List[int]] = None
 
     def __len__(self) -> int:
-        return len(self._regs)
+        return self._size
 
     def read(self, offset: int, count: int = 1) -> List[int]:
         """Read ``count`` dwords starting at ``offset``."""
         self._check_range(offset, count)
+        if self._regs is None:
+            return [0] * count
         return self._regs[offset:offset + count]
 
     def write(self, offset: int, values: Sequence[int]) -> None:
         """Write consecutive dwords starting at ``offset``."""
         self._check_range(offset, len(values))
+        if self._regs is None:
+            self._regs = [0] * self._size
         for i, value in enumerate(values):
             if not 0 <= value <= DWORD_MASK:
                 raise RegisterError(f"value {value:#x} is not a dword")
@@ -44,10 +52,10 @@ class RegisterBlock:
     def _check_range(self, offset: int, count: int) -> None:
         if count < 1:
             raise RegisterError("count must be positive")
-        if offset < 0 or offset + count > len(self._regs):
+        if offset < 0 or offset + count > self._size:
             raise RegisterError(
                 f"access [{offset}, {offset + count}) outside block of "
-                f"{len(self._regs)} dwords"
+                f"{self._size} dwords"
             )
 
 

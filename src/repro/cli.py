@@ -74,7 +74,11 @@ from .experiments.report import render_kv, render_phase_breakdown
 from .experiments.shrink import DEFAULT_MAX_ATTEMPTS
 from .experiments.scenario import Scenario
 from .manager.timing import ALGORITHMS, PARALLEL, ProcessingTimeModel
-from .topology.table1 import ALIASES, TABLE1_NAMES, canonical_name
+from .topology.registry import (
+    GENERATOR_FAMILIES,
+    canonical_topology_name,
+)
+from .topology.table1 import ALIASES, TABLE1_NAMES
 
 #: ``--manager`` accepts the FM flavours plus, as a shorthand, the
 #: algorithm keys (resolved by :func:`resolve_variant`).
@@ -93,9 +97,10 @@ def resolve_variant(manager: str, algorithm: str) -> Tuple[str, str]:
 
 
 def _topology_arg(value: str) -> str:
-    """Argparse type: a Table 1 topology name or alias."""
+    """Argparse type: any known topology name, alias, or generator
+    spec (``mesh16``, ``dragonfly-k4m8``, ``fattree2-1024``, ...)."""
     try:
-        return canonical_name(value)
+        return canonical_topology_name(value)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
 
@@ -106,8 +111,8 @@ def _topology_parent(default: str) -> argparse.ArgumentParser:
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--topology", type=_topology_arg, default=default, metavar="NAME",
-        help=f"Table 1 topology name or alias, e.g. mesh16 "
-             f"(default {default!r})",
+        help=f"topology name, alias, or generator spec, e.g. mesh16 or "
+             f"dragonfly-k4m8 (default {default!r})",
     )
     return parent
 
@@ -392,6 +397,9 @@ def _cmd_list(args) -> int:
         alias = reverse.get(name)
         suffix = f"  (alias: {alias})" if alias else ""
         print(f"  {name}{suffix}")
+    print("\nGenerator families (parameterised names):")
+    for line in GENERATOR_FAMILIES:
+        print(f"  {line}")
     print("\nDiscovery algorithms:")
     for algorithm in ALGORITHMS:
         print(f"  {algorithm}")
@@ -462,9 +470,9 @@ def _cmd_change(args) -> int:
 
 
 def _cmd_reliability(args) -> int:
-    from .topology.table1 import table1_topology
+    from .topology.registry import resolve_topology
     manager, _ = resolve_variant(args.manager, PARALLEL)
-    spec = table1_topology(args.topology)
+    spec = resolve_topology(args.topology)
     algorithms = args.algorithms or list(ALGORITHMS)
     if args.manager in ALGORITHMS:
         algorithms = [args.manager]
@@ -494,9 +502,9 @@ def _cmd_reliability(args) -> int:
 
 
 def _cmd_churn(args) -> int:
-    from .topology.table1 import table1_topology
+    from .topology.registry import resolve_topology
     manager, _ = resolve_variant(args.manager, PARALLEL)
-    spec = table1_topology(args.topology)
+    spec = resolve_topology(args.topology)
     algorithms = args.algorithms or list(ALGORITHMS)
     if args.manager in ALGORITHMS:
         algorithms = [args.manager]

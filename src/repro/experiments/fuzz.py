@@ -59,6 +59,14 @@ IRREGULAR_SWITCHES = (3, 8)
 IRREGULAR_EXTRA_LINKS = (0, 3)
 IRREGULAR_PORTS = 8
 
+#: Sampled generator-family shapes (drawn as parseable spec names, so
+#: corpus entries stay human-readable strings).
+DRAGONFLY_ROUTERS = (2, 4)       # K: routers per group
+DRAGONFLY_GROUPS = (2, 6)        # M: groups
+DRAGONFLY_ENDPOINTS = (1, 1, 2)  # E: endpoints per router (weighted)
+FATTREE2_ENDPOINTS = (8, 12, 16, 24)
+FATTREE2_PORTS = (8, 12)
+
 #: Timing-perturbation pools (the Figs. 8/9 axes).
 FM_FACTORS = (0.5, 1.0, 2.0, 4.0)
 DEVICE_FACTORS = (0.2, 1.0, 2.0)
@@ -90,7 +98,8 @@ def sample_scenario(seed: int, index: int,
     """
     rng = random.Random(1_000_003 * seed + index)
     kind = rng.choice(KINDS)
-    if rng.random() < 0.4:
+    family_draw = rng.random()
+    if family_draw < 0.4:
         num_switches = rng.randint(*IRREGULAR_SWITCHES)
         extra_links = rng.randint(*IRREGULAR_EXTRA_LINKS)
         topology_seed = rng.randrange(1 << 16)
@@ -99,6 +108,21 @@ def sample_scenario(seed: int, index: int,
             num_switches, extra_links=extra_links,
             switch_ports=IRREGULAR_PORTS, seed=topology_seed,
         ))
+    elif family_draw < 0.55:
+        # Generator families: small Dragonfly / two-layer fat-tree
+        # specs drawn as names (resolve_topology parses them back).
+        from ..topology import dragonfly_name, fat_tree2_name
+        if rng.random() < 0.5:
+            topology = dragonfly_name(
+                rng.randint(*DRAGONFLY_ROUTERS),
+                rng.randint(*DRAGONFLY_GROUPS),
+                rng.choice(DRAGONFLY_ENDPOINTS),
+            )
+        else:
+            topology = fat_tree2_name(
+                rng.choice(FATTREE2_ENDPOINTS),
+                switch_ports=rng.choice(FATTREE2_PORTS),
+            )
     else:
         topology = rng.choice(FUZZ_TOPOLOGIES)
     kwargs: dict = {

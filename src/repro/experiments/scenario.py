@@ -179,8 +179,8 @@ class Scenario:
         if isinstance(self.topology, dict):
             from .io import spec_from_dict
             return spec_from_dict(self.topology)
-        from ..topology.table1 import table1_topology
-        return table1_topology(self.topology)
+        from ..topology.registry import resolve_topology
+        return resolve_topology(self.topology)
 
     def fabric_params(self) -> FabricParams:
         if self.params is None:

@@ -30,6 +30,18 @@ class Device:
     type_code = 0
     kind = "device"
 
+    #: Identity constants rendered into the baseline capability; class
+    #: attributes so a mega-scale fabric does not store them per device.
+    vendor_id = 0xA51  # "ASI"
+    device_id = 0x0001
+    capability_version = 0x0100
+
+    __slots__ = (
+        "env", "name", "dsn", "params", "active", "stats", "_nports",
+        "ports", "config_space", "local_handler", "_trace_hook",
+        "port_state_observer",
+    )
+
     def __init__(self, env: Environment, name: str, dsn: int, nports: int,
                  params: FabricParams):
         if nports < 1:
@@ -39,9 +51,6 @@ class Device:
         self.dsn = dsn
         self.params = params
         self.active = False
-        self.vendor_id = 0xA51  # "ASI"
-        self.device_id = 0x0001
-        self.capability_version = 0x0100
         self.stats = Counter()
         #: Port count, cached for the routing hot path (ports are fixed
         #: at construction).

@@ -19,6 +19,8 @@ class Endpoint(Device):
     type_code = DEVICE_TYPE_ENDPOINT
     kind = "endpoint"
 
+    __slots__ = ("fm_capable", "fm_priority")
+
     def __init__(self, env, name, dsn, nports, params,
                  fm_capable: bool = True, fm_priority: int = 0):
         super().__init__(env, name, dsn, nports, params)

@@ -36,12 +36,14 @@ class Fabric:
         self.devices: Dict[str, Device] = {}
         self.links: List[Link] = []
         self._dsn_counter = count(0x0100_0000)
+        self._by_dsn: Dict[int, Device] = {}
 
     # -- construction ------------------------------------------------------
     def _register(self, device: Device) -> Device:
         if device.name in self.devices:
             raise FabricError(f"duplicate device name {device.name!r}")
         self.devices[device.name] = device
+        self._by_dsn[device.dsn] = device
         return device
 
     def add_switch(self, name: str, nports: Optional[int] = None) -> Switch:
@@ -125,10 +127,10 @@ class Fabric:
             raise FabricError(f"no device named {name!r}") from None
 
     def device_by_dsn(self, dsn: int) -> Device:
-        for device in self.devices.values():
-            if device.dsn == dsn:
-                return device
-        raise FabricError(f"no device with DSN {dsn:#x}")
+        try:
+            return self._by_dsn[dsn]
+        except KeyError:
+            raise FabricError(f"no device with DSN {dsn:#x}") from None
 
     def switches(self) -> List[Switch]:
         return [d for d in self.devices.values() if isinstance(d, Switch)]

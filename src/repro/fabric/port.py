@@ -14,7 +14,8 @@ delay.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from functools import lru_cache
+from typing import Optional, Tuple
 
 from ..sim.core import Environment
 from ..sim.events import URGENT
@@ -32,8 +33,30 @@ from .vc import VCType, VirtualChannel, default_vc_types
 RX_RELEASE_KEY = "_rx_release"
 
 
+@lru_cache(maxsize=None)
+def _vc_details(vc_count: int) -> Tuple[str, ...]:
+    """Flyweight trace detail strings, shared by every same-shaped port."""
+    return tuple(f"vc={i}" for i in range(vc_count))
+
+
 class Port:
-    """One port of a fabric device."""
+    """One port of a fabric device.
+
+    The heavyweight per-port structures — VC queues, credit counters,
+    input-buffer accounting, the stats counter — are materialized
+    lazily on first use: a mega-scale fabric wires hundreds of
+    thousands of ports, but discovery traffic transits only the route
+    tree, so most ports never pay for them.
+    """
+
+    __slots__ = (
+        "device", "index", "params", "env", "link", "error_count",
+        "_stats", "_tx_vcs", "_credits", "_rx_use", "_tx_busy",
+        "_tx_kick_scheduled", "_trace", "_vc_detail", "_credit_unit",
+        "_framing", "_pcrc", "_prop", "_byte_time", "_rx_cap",
+        "_tc_vc_map", "_pick_order", "_head_latency", "_remote",
+        "_error_model",
+    )
 
     def __init__(self, device, index: int, params: FabricParams):
         self.device = device
@@ -42,19 +65,16 @@ class Port:
         self.env: Environment = device.env
         self.link = None
         self.error_count = 0
-        self.stats = Counter()
-        if params.vc_types:
-            vc_types = [VCType(t) for t in params.vc_types]
-        else:
-            vc_types = default_vc_types(params.vc_count)
-        self._tx_vcs: List[VirtualChannel] = [
-            VirtualChannel(i, vc_types[i]) for i in range(params.vc_count)
-        ]
-        #: Mirrors of the remote input buffer, one per VC (built when a
-        #: link is attached).
-        self.credits: List[CreditCounter] = []
-        #: Units currently held in our own input buffer, per VC.
-        self._rx_in_use: List[int] = [0] * params.vc_count
+        #: Lazily-built :class:`Counter` (see the ``stats`` property).
+        self._stats = None
+        #: Per-VC output queues, remote input-buffer mirrors, and the
+        #: arbitration order — all ``None`` until this port transmits.
+        self._tx_vcs = None
+        self._credits = None
+        self._pick_order = None
+        #: Units currently held in our own input buffer, per VC
+        #: (``None`` until this port receives).
+        self._rx_use = None
         #: Transmit-engine state (see ``_tx_start``): a serialization
         #: timer is pending / a zero-delay kick is already on the heap.
         self._tx_busy = False
@@ -64,8 +84,8 @@ class Port:
         #: are built before the device finishes initializing, hence the
         #: guarded read.
         self._trace = getattr(device, "_trace_hook", None)
-        #: Trace detail strings, built once instead of per packet.
-        self._vc_detail = [f"vc={i}" for i in range(params.vc_count)]
+        #: Trace detail strings, interned across ports.
+        self._vc_detail = _vc_details(params.vc_count)
         #: ``FabricParams`` is frozen, so its values are hoisted once
         #: here instead of re-read (attribute chain + property calls)
         #: for every packet.
@@ -76,9 +96,6 @@ class Port:
         self._byte_time = 8.0 / params.data_rate
         self._rx_cap = params.rx_buffer_credits
         self._tc_vc_map = params.tc_vc_map
-        #: Arbitration order with each VC paired to its credit counter
-        #: (built at link attach); highest priority first.
-        self._pick_order = ()
         self._head_latency = 0.0
         self._remote: Optional["Port"] = None
         #: Mirror of the link's channel error model (hoisted at attach;
@@ -86,6 +103,43 @@ class Port:
         #: per-packet paths free of error-model branches beyond one
         #: ``is None`` test).
         self._error_model = None
+
+    # -- lazy structures -------------------------------------------------
+    @property
+    def stats(self) -> Counter:
+        """Per-port counters, created on first use."""
+        stats = self._stats
+        if stats is None:
+            stats = self._stats = Counter()
+        return stats
+
+    @property
+    def credits(self):
+        """Remote input-buffer mirrors (empty until first transmit)."""
+        return self._credits if self._credits is not None else ()
+
+    @property
+    def _rx_in_use(self):
+        """Per-VC input-buffer occupancy (empty until first receive)."""
+        return self._rx_use if self._rx_use is not None else ()
+
+    def _materialize_tx(self) -> None:
+        """Build the VC queues, credit mirrors, and arbitration order."""
+        params = self.params
+        if params.vc_types:
+            vc_types = [VCType(t) for t in params.vc_types]
+        else:
+            vc_types = default_vc_types(params.vc_count)
+        self._tx_vcs = [
+            VirtualChannel(i, vc_types[i]) for i in range(params.vc_count)
+        ]
+        self._credits = [
+            CreditCounter(self.env, params.rx_buffer_credits)
+            for _ in range(params.vc_count)
+        ]
+        self._pick_order = tuple(
+            (vc, self._credits[vc.index]) for vc in reversed(self._tx_vcs)
+        )
 
     # -- identity -------------------------------------------------------
     @property
@@ -112,13 +166,6 @@ class Port:
         if self.link is not None:
             raise RuntimeError(f"port {self.name} already has a link")
         self.link = link
-        self.credits = [
-            CreditCounter(self.env, self.params.rx_buffer_credits)
-            for _ in range(self.params.vc_count)
-        ]
-        self._pick_order = tuple(
-            (vc, self.credits[vc.index]) for vc in reversed(self._tx_vcs)
-        )
         self._head_latency = link.head_latency()
         self._remote = link.other(self)
         self._error_model = link.error_model
@@ -132,19 +179,22 @@ class Port:
         """Called by the link on up/down transitions."""
         if not up:
             # Lost packets' credits are resynchronized on retrain.
-            for counter in self.credits:
-                counter.reset()
-            self._rx_in_use = [0] * self.params.vc_count
-            for vc in self._tx_vcs:
-                dropped = len(vc)
-                if dropped:
-                    self.stats.incr("tx_dropped_link_down", dropped)
-                for packet in list(vc):
-                    # Forwarded packets still hold an input buffer on
-                    # another port of this device; free it.
-                    self._run_releases(packet)
-                vc.ordered.clear()
-                vc.bypass.clear()
+            if self._credits is not None:
+                for counter in self._credits:
+                    counter.reset()
+            if self._rx_use is not None:
+                self._rx_use = [0] * self.params.vc_count
+            if self._tx_vcs is not None:
+                for vc in self._tx_vcs:
+                    dropped = len(vc)
+                    if dropped:
+                        self.stats.incr("tx_dropped_link_down", dropped)
+                    for packet in list(vc):
+                        # Forwarded packets still hold an input buffer
+                        # on another port of this device; free it.
+                        self._run_releases(packet)
+                    vc.ordered.clear()
+                    vc.bypass.clear()
         self._wake()
         self.device.on_port_state_change(self, up)
 
@@ -177,6 +227,8 @@ class Port:
             self.stats.incr("tx_dropped_no_link")
             self._run_releases(packet)
             return
+        if self._tx_vcs is None:
+            self._materialize_tx()
         self._tx_vcs[vc_index].push(packet)
         self.stats.incr("tx_queued")
         if self._trace is not None:
@@ -194,6 +246,8 @@ class Port:
 
     def _pick(self):
         """Highest-priority VC whose head packet has credits available."""
+        if self._pick_order is None:
+            return None  # nothing was ever queued on this port
         for vc, credit in self._pick_order:
             packet = vc.peek()
             if packet is None:
@@ -339,7 +393,9 @@ class Port:
         if self._error_model is not None and not self._apply_channel_errors(
                 packet, vc_index, units, epoch, size):
             return
-        self._rx_in_use[vc_index] += units
+        if self._rx_use is None:
+            self._rx_use = [0] * self.params.vc_count
+        self._rx_use[vc_index] += units
         self.stats.incr("rx_packets")
         if self._trace is not None:
             self._trace("rx", self.device, self.index, packet,
@@ -393,7 +449,8 @@ class Port:
         """Free input-buffer space and return credits to the sender."""
         if self.link is None or self.link.epoch != epoch:
             return  # buffer already resynchronized by a down transition
-        self._rx_in_use[vc_index] = max(0, self._rx_in_use[vc_index] - units)
+        rx_use = self._rx_use
+        rx_use[vc_index] = max(0, rx_use[vc_index] - units)
         peer = self._remote
         self.env.schedule_callback(
             self._prop,
@@ -404,12 +461,16 @@ class Port:
     def _credit_update(self, vc_index: int, units: int, epoch: int) -> None:
         if self.link is None or self.link.epoch != epoch or not self.link.up:
             return
-        self.credits[vc_index].release(units)
+        if self._credits is None:
+            return  # never transmitted: nothing outstanding to release
+        self._credits[vc_index].release(units)
         self._wake()
 
     # -- introspection ----------------------------------------------------
     def queued_packets(self) -> int:
         """Packets waiting in this port's output queues."""
+        if self._tx_vcs is None:
+            return 0
         return sum(len(vc) for vc in self._tx_vcs)
 
     def __repr__(self):  # pragma: no cover - debugging aid

@@ -32,6 +32,8 @@ class Switch(Device):
     type_code = DEVICE_TYPE_SWITCH
     kind = "switch"
 
+    __slots__ = ("mcast_table",)
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         #: Multicast forwarding table (paper, section 2), programmed by

@@ -15,14 +15,14 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from ..capability import DEVICE_TYPE_ENDPOINT, DEVICE_TYPE_SWITCH
-from ..routing.turnpool import Hop, TurnPool, build_turn_pool
+from ..routing.turnpool import Hop, TurnPool, build_turn_pool, intern_hop
 
 
 class DatabaseError(RuntimeError):
     """Raised on inconsistent database updates."""
 
 
-@dataclass
+@dataclass(slots=True)
 class PortRecord:
     """What the FM knows about one port of a device."""
 
@@ -34,7 +34,7 @@ class PortRecord:
     neighbor_port: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceRecord:
     """What the FM knows about one device."""
 
@@ -80,16 +80,43 @@ class TopologyDatabase:
 
     def __init__(self):
         self._devices: Dict[int, DeviceRecord] = {}
+        #: True while every record's route fields are exactly what
+        #: :meth:`recompute_routes` would produce — the invariant that
+        #: lets an incremental recompute keep untouched subtrees.
+        #: Additions (new devices/links) clear it: their routes come
+        #: from the discovery walk, not from a recompute.
+        self._routes_canonical = False
+        #: Shortest-path tree of the last recompute:
+        #: ``dsn -> (parent_dsn, parent_out_port, ingress_port)``
+        #: (``(None, None, None)`` for the FM endpoint).
+        self._route_tree: Dict[int, Tuple] = {}
+        #: Devices whose port records mutated since the last recompute;
+        #: their (and their children's) hops must be re-derived.
+        self._touched: set = set()
 
     # -- mutation ------------------------------------------------------------
     def clear(self) -> None:
         """Discard everything (the paper's full-rediscovery assumption)."""
         self._devices.clear()
+        self._routes_canonical = False
+        self._route_tree = {}
+        self._touched = set()
+
+    def touch(self, dsn: int) -> None:
+        """Note an out-of-band port mutation on ``dsn``.
+
+        Callers that flip port state directly on a record (rather than
+        through :meth:`mark_port_down` / :meth:`add_link`) must report
+        it here so an incremental route recompute re-derives the hops
+        around that device.
+        """
+        self._touched.add(dsn)
 
     def add_device(self, record: DeviceRecord) -> DeviceRecord:
         if record.dsn in self._devices:
             raise DatabaseError(f"device {record.dsn:#x} already known")
         self._devices[record.dsn] = record
+        self._routes_canonical = False
         return record
 
     def add_link(self, dsn_a: int, port_a: int, dsn_b: int,
@@ -110,6 +137,7 @@ class TopologyDatabase:
             pb.up = True
             pb.neighbor_dsn = dsn_a
             pb.neighbor_port = port_a
+        self._routes_canonical = False
 
     # -- queries --------------------------------------------------------------
     def __contains__(self, dsn: int) -> bool:
@@ -150,7 +178,8 @@ class TopologyDatabase:
                 f"cannot route through endpoint {parent.dsn:#x}"
             )
         hops = list(parent.route_hops)
-        hops.append(Hop(parent.nports, parent.ingress_port, egress_port))
+        hops.append(intern_hop(parent.nports, parent.ingress_port,
+                               egress_port))
         return hops, parent.out_port
 
     def route_to_fm(self, record: DeviceRecord) -> Tuple[TurnPool, int]:
@@ -163,7 +192,7 @@ class TopologyDatabase:
         if record.ingress_port is None:
             raise DatabaseError("the FM endpoint needs no route to itself")
         reverse_hops = [
-            Hop(hop.nports, hop.out_port, hop.in_port)
+            intern_hop(hop.nports, hop.out_port, hop.in_port)
             for hop in reversed(record.route_hops)
         ]
         return build_turn_pool(reverse_hops), record.ingress_port
@@ -173,9 +202,11 @@ class TopologyDatabase:
         record = self.device(dsn)
         port = record.port(port_index)
         port.up = False
+        self._touched.add(dsn)
         neighbor = port.neighbor_dsn
         if neighbor is not None and neighbor in self._devices:
             far = self._devices[neighbor]
+            self._touched.add(neighbor)
             if port.neighbor_port is not None:
                 far.port(port.neighbor_port).up = False
             else:
@@ -204,24 +235,50 @@ class TopologyDatabase:
                     port.neighbor_dsn = None
                     port.neighbor_port = None
                     port.up = False
+                    self._touched.add(record.dsn)
         return removed
 
-    def recompute_routes(self, fm_dsn: int) -> None:
+    @property
+    def routes_canonical(self) -> bool:
+        """Whether stored routes match a recompute of the current state."""
+        return self._routes_canonical
+
+    def recompute_routes(self, fm_dsn: int,
+                         incremental: bool = False) -> dict:
         """Rebuild every record's source route from the FM.
 
         After a partial assimilation, routes discovered through a
         now-removed region would be stale; shortest paths over the
         updated database replace them.
+
+        With ``incremental=True`` and a database whose routes are
+        already in recompute-canonical form, only routes transiting
+        the changed region are rebuilt — records whose shortest-path
+        parent, link ports, and full ancestor chain are untouched keep
+        their stored hops.  The result is bit-identical to a full
+        recompute; when the canonical invariant does not hold (fresh
+        discovery output, merged databases), the call silently runs
+        the full recompute instead.
+
+        Returns ``{"mode", "rebuilt", "kept"}`` counters for
+        diagnostics and benchmarks.
         """
+        if incremental and self._routes_canonical:
+            return self._recompute_incremental(fm_dsn)
+        return self._recompute_full(fm_dsn)
+
+    def _recompute_full(self, fm_dsn: int) -> dict:
         graph = self.graph()
         if fm_dsn not in graph:
-            return
+            return {"mode": "full", "rebuilt": 0, "kept": 0}
+        tree: Dict[int, Tuple] = {}
         paths = nx.single_source_shortest_path(graph, fm_dsn)
         for dsn, node_path in paths.items():
             record = self._devices[dsn]
             if dsn == fm_dsn:
                 record.route_hops = []
                 record.ingress_port = None
+                tree[dsn] = (None, None, None)
                 continue
             hops: List[Hop] = []
             for k in range(1, len(node_path) - 1):
@@ -230,12 +287,105 @@ class TopologyDatabase:
                 out_port, _ = self._link_ports(node_path[k],
                                                node_path[k + 1])
                 middle = self._devices[node_path[k]]
-                hops.append(Hop(middle.nports, in_port, out_port))
+                hops.append(intern_hop(middle.nports, in_port, out_port))
             first_out, _ = self._link_ports(node_path[0], node_path[1])
             _, ingress = self._link_ports(node_path[-2], node_path[-1])
             record.route_hops = hops
             record.out_port = first_out
             record.ingress_port = ingress
+            # Parent-side egress of the last link: the final hop's
+            # out_port, or the FM-local port for direct neighbours.
+            tree[dsn] = (node_path[-2],
+                         hops[-1].out_port if hops else first_out,
+                         ingress)
+        self._route_tree = tree
+        self._touched = set()
+        self._routes_canonical = True
+        return {"mode": "full", "rebuilt": max(0, len(paths) - 1),
+                "kept": 0}
+
+    def _recompute_incremental(self, fm_dsn: int) -> dict:
+        """Deletion-safe incremental recompute (see recompute_routes).
+
+        Replays exactly the shortest-path-tree construction of the full
+        recompute — a level-synchronous BFS over the adjacency built in
+        :meth:`graph`'s insertion order, so parent tie-breaks match
+        networkx bit for bit — but materializes hops only for records
+        whose tree edge changed, whose endpoints saw port mutations, or
+        whose ancestors did.
+        """
+        if fm_dsn not in self._devices:
+            return {"mode": "incremental", "rebuilt": 0, "kept": 0}
+        # Adjacency in graph()'s construction order: devices in
+        # insertion order, ports in record order, both directions
+        # recorded when an edge is first seen (networkx add_edge).
+        adj: Dict[int, Dict[int, bool]] = {
+            dsn: {} for dsn in self._devices
+        }
+        for record in self._devices.values():
+            a = record.dsn
+            near = adj[a]
+            for port in record.ports.values():
+                b = port.neighbor_dsn
+                if b is not None and port.up and b in adj and b not in near:
+                    near[b] = True
+                    adj[b][a] = True
+        # Level-synchronous BFS, mirroring networkx's
+        # single_source_shortest_path discovery order.
+        parent: Dict[int, Optional[int]] = {fm_dsn: None}
+        order: List[int] = [fm_dsn]
+        thislevel: List[int] = [fm_dsn]
+        while thislevel:
+            nextlevel: List[int] = []
+            for v in thislevel:
+                for w in adj[v]:
+                    if w not in parent:
+                        parent[w] = v
+                        order.append(w)
+                        nextlevel.append(w)
+            thislevel = nextlevel
+
+        tree: Dict[int, Tuple] = {fm_dsn: (None, None, None)}
+        old_tree = self._route_tree
+        touched = self._touched
+        dirty: set = set()
+        rebuilt = 0
+        fm_record = self._devices[fm_dsn]
+        fm_record.route_hops = []
+        fm_record.ingress_port = None
+        for v in order[1:]:
+            p = parent[v]
+            old = old_tree.get(v)
+            if (old is not None and old[0] == p and p not in dirty
+                    and p not in touched and v not in touched):
+                # Same parent, both endpoints untouched, clean ancestor
+                # chain: the stored route is already what a full
+                # recompute would rebuild.
+                tree[v] = old
+                continue
+            out_port, in_port = self._link_ports(p, v)
+            entry = (p, out_port, in_port)
+            tree[v] = entry
+            if entry == old and p not in dirty:
+                continue
+            dirty.add(v)
+            rebuilt += 1
+            record = self._devices[v]
+            if p == fm_dsn:
+                record.route_hops = []
+                record.out_port = out_port
+            else:
+                prec = self._devices[p]
+                hops = list(prec.route_hops)
+                hops.append(intern_hop(prec.nports, prec.ingress_port,
+                                       out_port))
+                record.route_hops = hops
+                record.out_port = prec.out_port
+            record.ingress_port = in_port
+        self._route_tree = tree
+        self._touched = set()
+        return {"mode": "incremental", "rebuilt": rebuilt,
+                "kept": len(order) - 1 - rebuilt}
 
     def _link_ports(self, dsn_a: int, dsn_b: int) -> Tuple[int, int]:
         """Ports wiring two adjacent known devices (lowest first)."""

@@ -251,7 +251,8 @@ class PartialAssimilationManager(FabricManager):
         removed = self.database.prune_unreachable(self.endpoint.dsn)
         self._burst_stats.devices_found = len(self.database)
         try:
-            self.database.recompute_routes(self.endpoint.dsn)
+            self.database.recompute_routes(self.endpoint.dsn,
+                                           incremental=True)
         except DatabaseError:
             self.counters.incr("partial_fallbacks")
             self._abort_burst_to_full()
@@ -267,6 +268,7 @@ class PartialAssimilationManager(FabricManager):
             # link; exploring "through" it would be a U-turn.
             port = record.port(event.port)
             port.up = True
+            self.database.touch(record.dsn)
             if port.neighbor_dsn is not None and \
                     port.neighbor_dsn in self.database:
                 self.database.add_link(record.dsn, event.port,

@@ -28,6 +28,7 @@ widening of the pool):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from .._limits import TURN_POOL_BITS
@@ -70,13 +71,25 @@ def _check_port(port: int, nports: int) -> None:
         raise TurnPoolError(f"port {port} outside device with {nports} ports")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hop:
     """One switch traversal: enter ``in_port``, leave ``out_port``."""
 
     nports: int
     in_port: int
     out_port: int
+
+
+@lru_cache(maxsize=None)
+def intern_hop(nports: int, in_port: int, out_port: int) -> Hop:
+    """A shared :class:`Hop` instance.
+
+    Routes across a large fabric repeat the same few turns at every
+    switch (a 128-port switch has at most ``128 * 127`` distinct hops),
+    so route tables built from interned hops share their elements
+    instead of holding millions of equal-but-distinct objects.
+    """
+    return Hop(nports, in_port, out_port)
 
 
 class TurnPool:
@@ -114,7 +127,15 @@ def build_turn_pool(hops: Sequence[Hop]) -> TurnPool:
     The first hop's turn lands in the top bits so that a forward
     traversal (pointer counting down from ``bits``) consumes hops in
     path order.  An empty hop list is the self-route (pointer 0).
+
+    Results are memoized per hop sequence: the fabric manager packs the
+    route to a device on every management packet it sends there.
     """
+    return _pack_hops(tuple(hops))
+
+
+@lru_cache(maxsize=65536)
+def _pack_hops(hops: Tuple[Hop, ...]) -> TurnPool:
     total_bits = sum(turn_width(h.nports) for h in hops)
     if total_bits > TURN_POOL_BITS:
         raise TurnPoolError(

@@ -1,8 +1,15 @@
 """Topology generators: the paper's Table 1 families plus extras."""
 
+from .dragonfly import dragonfly_name, make_dragonfly, parse_dragonfly_name
 from .fattree import make_fattree
+from .fattree2 import fat_tree2_name, make_fat_tree2, parse_fat_tree2_name
 from .irregular import make_irregular, parse_irregular_name
 from .mesh import make_mesh
+from .registry import (
+    GENERATOR_FAMILIES,
+    canonical_topology_name,
+    resolve_topology,
+)
 from .spec import TopologySpec
 from .table1 import (
     ALIASES,
@@ -16,14 +23,23 @@ from .torus import make_torus
 
 __all__ = [
     "ALIASES",
+    "GENERATOR_FAMILIES",
     "TABLE1_NAMES",
     "TopologySpec",
     "canonical_name",
+    "canonical_topology_name",
+    "dragonfly_name",
+    "fat_tree2_name",
+    "make_dragonfly",
+    "make_fat_tree2",
     "make_fattree",
     "make_irregular",
     "make_mesh",
     "make_torus",
+    "parse_dragonfly_name",
+    "parse_fat_tree2_name",
     "parse_irregular_name",
+    "resolve_topology",
     "table1_rows",
     "table1_suite",
     "table1_topology",

@@ -1,0 +1,132 @@
+"""Swapped Dragonfly topologies (``D3(K, M)``).
+
+The Swapped Dragonfly (PAPERS.md, arXiv 2202.01843) is a diameter-3,
+linearly scalable network: ``M`` groups of ``K`` routers each, every
+group internally a complete graph, and every pair of groups joined by
+exactly one global link.  The global link for group pair ``{a, b}``
+lands on router ``(a + b) mod K`` of both groups, which spreads the
+global ports evenly — each router carries roughly ``(M - 1) / K``
+global links.  The group-level graph is complete, so the switch-graph
+diameter is at most 3 (local hop, global hop, local hop).
+
+Because a router's radix is ``(K - 1)`` local ports plus about
+``(M - 1) / K`` global ports plus its endpoint ports, the family
+scales to tens of thousands of devices within the baseline
+capability's port-block budget — ``dragonfly-k16m125e4`` is exactly
+10,000 devices of radix 27.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from ..capability.baseline import MAX_PORT_BLOCKS
+from .spec import TopologySpec
+
+#: Shape of a Dragonfly spec's name.  The recorded ``(K, M,
+#: endpoints_per_switch)`` make every spec regenerable from its name
+#: alone, mirroring :func:`~repro.topology.irregular.parse_irregular_name`.
+_NAME_RE = re.compile(r"^dragonfly-k(\d+)m(\d+)(?:e(\d+))?$")
+
+
+def dragonfly_name(routers_per_group: int, num_groups: int,
+                   endpoints_per_switch: int = 1) -> str:
+    """The lossless canonical name of a Dragonfly spec."""
+    name = f"dragonfly-k{routers_per_group}m{num_groups}"
+    if endpoints_per_switch != 1:
+        name += f"e{endpoints_per_switch}"
+    return name
+
+
+def parse_dragonfly_name(name: str) -> Optional[Tuple[int, int, int]]:
+    """``(K, M, endpoints_per_switch)`` recorded in a Dragonfly spec's
+    name, or ``None`` if the name is not one."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        return None
+    k, m, e = match.groups()
+    return int(k), int(m), int(e) if e is not None else 1
+
+
+def make_dragonfly(routers_per_group: int, num_groups: int,
+                   endpoints_per_switch: int = 1) -> TopologySpec:
+    """Build a Swapped Dragonfly ``D3(K, M)``.
+
+    ``routers_per_group`` (``K``) routers per group, ``num_groups``
+    (``M``) groups.  Every group is a complete graph; group pair
+    ``{a, b}`` is joined by one global link between router
+    ``(a + b) mod K`` of each group.  Each router additionally carries
+    ``endpoints_per_switch`` endpoints.
+    """
+    k, m, eps = routers_per_group, num_groups, endpoints_per_switch
+    if k < 2:
+        raise ValueError("dragonfly needs at least 2 routers per group")
+    if m < 2:
+        raise ValueError("dragonfly needs at least 2 groups")
+    if eps < 1:
+        raise ValueError("dragonfly needs at least 1 endpoint per switch")
+
+    # Per-router port layout: endpoints first, then the K-1 local
+    # ports, then the global ports in increasing peer-group order.
+    local_base = eps
+    global_base = eps + (k - 1)
+    # Router r of group g serves every peer group b with
+    # (g + b) mod K == r, so its global degree is |{b != g : b ≡ r - g
+    # (mod K), 0 <= b < M}|.
+    max_global = max(
+        sum(1 for b in range(m) if b != g and (g + b) % k == r)
+        for g in range(min(m, k)) for r in range(k)
+    )
+    nports = global_base + max_global
+    if nports > MAX_PORT_BLOCKS:
+        raise ValueError(
+            f"dragonfly-k{k}m{m}e{eps} needs {nports}-port switches, "
+            f"over the {MAX_PORT_BLOCKS}-port baseline capability limit"
+        )
+
+    spec = TopologySpec(
+        name=dragonfly_name(k, m, eps),
+        family="dragonfly",
+    )
+    for g in range(m):
+        for r in range(k):
+            sw = f"sw_{g}_{r}"
+            spec.switches.append((sw, nports))
+            for i in range(eps):
+                ep = f"ep_{g}_{r}" if eps == 1 else f"ep_{g}_{r}_{i}"
+                spec.endpoints.append(ep)
+                spec.links.append((ep, 0, sw, i))
+
+    # Local links: each group is a complete graph.  Router r reaches
+    # router j on local port local_base + (j if j < r else j - 1).
+    def local_port(r: int, j: int) -> int:
+        return local_base + (j if j < r else j - 1)
+
+    for g in range(m):
+        for r in range(k):
+            for j in range(r + 1, k):
+                spec.links.append((
+                    f"sw_{g}_{r}", local_port(r, j),
+                    f"sw_{g}_{j}", local_port(j, r),
+                ))
+
+    # Global links: one per group pair, on router (a + b) mod K of
+    # both sides.  Iterating pairs lexicographically hands each router
+    # its global ports in increasing peer-group order.
+    next_global = {}
+    for a in range(m):
+        for b in range(a + 1, m):
+            r = (a + b) % k
+            ends = []
+            for g in (a, b):
+                sw = f"sw_{g}_{r}"
+                port = next_global.get(sw, global_base)
+                next_global[sw] = port + 1
+                ends.append((sw, port))
+            (sa, pa), (sb, pb) = ends
+            spec.links.append((sa, pa, sb, pb))
+
+    spec.fm_host = spec.endpoints[0]
+    spec.validate()
+    return spec

@@ -1,0 +1,140 @@
+"""Auto-designed two-layer fat-trees (leaf-spine).
+
+Following Solnushkin's automated design approach (PAPERS.md, arXiv
+1301.6179): given a number of compute endpoints, choose the edge
+switch's split between ``d`` down-ports (endpoints) and ``u``
+up-ports (one per core switch) so the design fits the port budget,
+optionally with a blocking factor ``b`` (``u = ceil(d / b)``; ``b = 1``
+is full bisection).  Every core switch connects to every edge switch,
+so a core's radix equals the edge-switch count.
+
+With ``switch_ports`` unspecified the designer picks the down-degree
+that minimises the total switch count (the dominant cost term in
+Solnushkin's model) subject to the baseline capability's port-block
+budget; ``fattree2-1024`` resolves to 32 edge and 32 core switches of
+radix 64.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from ..capability.baseline import MAX_PORT_BLOCKS
+from .spec import TopologySpec
+
+#: Shape of a two-layer fat-tree spec's name: the endpoint count, an
+#: optional explicit edge-switch port count, and an optional blocking
+#: factor.  Auto-designed specs record only the endpoint count — the
+#: design rule is deterministic, so the name stays lossless.
+_NAME_RE = re.compile(r"^fattree2-(\d+)(?:m(\d+))?(?:b(\d+))?$")
+
+
+def fat_tree2_name(num_endpoints: int, switch_ports: Optional[int] = None,
+                   blocking: int = 1) -> str:
+    """The lossless canonical name of a two-layer fat-tree spec."""
+    name = f"fattree2-{num_endpoints}"
+    if switch_ports is not None:
+        name += f"m{switch_ports}"
+    if blocking != 1:
+        name += f"b{blocking}"
+    return name
+
+
+def parse_fat_tree2_name(
+        name: str) -> Optional[Tuple[int, Optional[int], int]]:
+    """``(num_endpoints, switch_ports, blocking)`` recorded in a
+    two-layer fat-tree spec's name, or ``None`` if the name is not
+    one.  ``switch_ports`` is ``None`` for auto-designed specs."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        return None
+    n, m, b = match.groups()
+    return int(n), int(m) if m is not None else None, \
+        int(b) if b is not None else 1
+
+
+def _design(num_endpoints: int, switch_ports: Optional[int],
+            blocking: int) -> Tuple[int, int]:
+    """Choose the edge switch's ``(down, up)`` port split."""
+    n, b = num_endpoints, blocking
+    if switch_ports is None:
+        # Auto-design: minimise edge + core switch count subject to the
+        # core-radix budget (a core needs one port per edge switch).
+        best = None
+        for down in range(1, MAX_PORT_BLOCKS + 1):
+            up = -(-down // b)
+            if down + up > MAX_PORT_BLOCKS:
+                break
+            edges = -(-n // down)
+            if edges > MAX_PORT_BLOCKS:
+                continue
+            cost = edges + up
+            if best is None or cost < best[0]:
+                best = (cost, down, up)
+        if best is None:
+            raise ValueError(
+                f"no two-layer fat-tree for {n} endpoints fits "
+                f"{MAX_PORT_BLOCKS}-port switches"
+            )
+        return best[1], best[2]
+    m = switch_ports
+    if m < 2:
+        raise ValueError("fat-tree edge switches need at least 2 ports")
+    if m > MAX_PORT_BLOCKS:
+        raise ValueError(
+            f"switch_ports {m} over the {MAX_PORT_BLOCKS}-port "
+            f"baseline capability limit"
+        )
+    # Largest down-degree whose matching up-degree still fits.
+    down = max(
+        (d for d in range(1, m) if d + -(-d // b) <= m),
+        default=0,
+    )
+    if down == 0:
+        raise ValueError(f"no {m}-port edge split fits blocking {b}")
+    return down, -(-down // b)
+
+
+def make_fat_tree2(num_endpoints: int, switch_ports: Optional[int] = None,
+                   blocking: int = 1) -> TopologySpec:
+    """Build a two-layer fat-tree for ``num_endpoints`` endpoints.
+
+    ``switch_ports`` fixes the edge-switch radix (``None`` auto-designs
+    it); ``blocking`` is the oversubscription factor (1 = full
+    bisection).  Edge switch ``i`` carries endpoints ``ep{i*d}`` ..
+    on its first ``d`` ports and one up-link per core switch on the
+    rest; core ``c`` reaches edge ``i`` on its port ``i``.
+    """
+    n, b = num_endpoints, blocking
+    if n < 2:
+        raise ValueError("a fat-tree needs at least 2 endpoints")
+    if b < 1:
+        raise ValueError("blocking factor must be at least 1")
+    down, up = _design(n, switch_ports, b)
+    edges = -(-n // down)
+    if edges > MAX_PORT_BLOCKS:
+        raise ValueError(
+            f"fattree2-{n}: {edges} edge switches exceed a core's "
+            f"{MAX_PORT_BLOCKS}-port baseline capability limit"
+        )
+
+    spec = TopologySpec(
+        name=fat_tree2_name(n, switch_ports, b),
+        family="fattree2",
+    )
+    for i in range(edges):
+        spec.switches.append((f"edge{i}", down + up))
+    for c in range(up):
+        spec.switches.append((f"core{c}", edges))
+    for e in range(n):
+        ep = f"ep{e}"
+        spec.endpoints.append(ep)
+        spec.links.append((ep, 0, f"edge{e // down}", e % down))
+    for i in range(edges):
+        for c in range(up):
+            spec.links.append((f"edge{i}", down + c, f"core{c}", i))
+
+    spec.fm_host = "ep0"
+    spec.validate()
+    return spec

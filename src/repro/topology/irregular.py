@@ -62,18 +62,26 @@ def make_irregular(num_switches: int, extra_links: int = 0,
         name=f"irregular-{num_switches}+{extra_links} (seed={seed})",
         family="irregular",
     )
-    free_ports = {}
+    # Ports are always taken in increasing index order, so a cursor per
+    # switch suffices — no materialized free-port lists (they dominated
+    # the generator's memory at large ``num_switches``).
+    next_port = {}
     for i in range(num_switches):
         name = f"sw{i}"
         spec.switches.append((name, switch_ports))
         spec.endpoints.append(f"ep{i}")
         spec.links.append((f"ep{i}", 0, name, ENDPOINT_PORT))
-        free_ports[name] = list(range(1, switch_ports))
+        next_port[name] = 1
+
+    def has_port(switch: str) -> bool:
+        return next_port[switch] < switch_ports
 
     def take_port(switch: str) -> Optional[int]:
-        if not free_ports[switch]:
+        if not has_port(switch):
             return None
-        return free_ports[switch].pop(0)
+        port = next_port[switch]
+        next_port[switch] = port + 1
+        return port
 
     # Random spanning tree: connect each new switch to a random earlier
     # one (random recursive tree).
@@ -97,7 +105,7 @@ def make_irregular(num_switches: int, extra_links: int = 0,
         a, b = f"sw{i}", f"sw{j}"
         if tuple(sorted((a, b))) in wired:
             continue
-        if not free_ports[a] or not free_ports[b]:
+        if not has_port(a) or not has_port(b):
             continue
         spec.links.append((a, take_port(a), b, take_port(b)))
         wired.add(tuple(sorted((a, b))))

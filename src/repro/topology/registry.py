@@ -1,0 +1,72 @@
+"""Unified topology-name resolution across every generator family.
+
+The CLI, the :class:`~repro.experiments.scenario.Scenario` layer, and
+the fuzzer all accept a topology *name*.  Historically that meant a
+Table 1 name or alias; the mega-scale families (Dragonfly, two-layer
+fat-trees, irregulars) instead use lossless parseable names that
+record their generator arguments.  This module resolves any of them:
+
+* Table 1 names and aliases (``"8x8 mesh"``, ``mesh64``, ``fattree4-2``)
+* Swapped Dragonflies: ``dragonfly-k{K}m{M}[e{E}]``
+* two-layer fat-trees: ``fattree2-{N}[m{P}][b{B}]``
+* irregulars: ``irregular-{N}+{E} (seed={S})``
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .dragonfly import dragonfly_name, make_dragonfly, parse_dragonfly_name
+from .fattree2 import fat_tree2_name, make_fat_tree2, parse_fat_tree2_name
+from .irregular import make_irregular, parse_irregular_name
+from .spec import TopologySpec
+from .table1 import ALIASES, TABLE1_NAMES, canonical_name, table1_topology
+
+#: One usage line per parseable generator family, for ``repro list``.
+GENERATOR_FAMILIES: List[str] = [
+    "dragonfly-k{K}m{M}[e{E}]   Swapped Dragonfly D3(K,M): M groups of K"
+    " routers, E endpoints each (e.g. dragonfly-k4m8, dragonfly-k16m125e4)",
+    "fattree2-{N}[m{P}][b{B}]   two-layer fat-tree for N endpoints,"
+    " optional edge radix P and blocking factor B (e.g. fattree2-1024)",
+    "irregular-{N}+{E} (seed={S})   random connected switch graph",
+]
+
+
+def canonical_topology_name(name: str) -> str:
+    """Resolve any known topology name or alias to its canonical form.
+
+    Raises :class:`ValueError` for names no family recognises.
+    """
+    stripped = name.strip().lower()
+    parsed = parse_dragonfly_name(stripped)
+    if parsed is not None:
+        return dragonfly_name(*parsed)
+    parsed = parse_fat_tree2_name(stripped)
+    if parsed is not None:
+        return fat_tree2_name(*parsed)
+    if parse_irregular_name(name.strip()) is not None:
+        return name.strip()
+    try:
+        return canonical_name(name)
+    except ValueError:
+        raise ValueError(
+            f"unknown topology {name!r}; choose a Table 1 name "
+            f"{TABLE1_NAMES}, an alias {sorted(ALIASES)}, or a "
+            f"generator-family name (see 'repro list')"
+        ) from None
+
+
+def resolve_topology(name: str) -> TopologySpec:
+    """Build the :class:`TopologySpec` any known name describes."""
+    canonical = canonical_topology_name(name)
+    parsed = parse_dragonfly_name(canonical)
+    if parsed is not None:
+        return make_dragonfly(*parsed)
+    parsed = parse_fat_tree2_name(canonical)
+    if parsed is not None:
+        return make_fat_tree2(*parsed)
+    parsed = parse_irregular_name(canonical)
+    if parsed is not None:
+        num, extra, seed = parsed
+        return make_irregular(num, extra_links=extra, seed=seed)
+    return table1_topology(canonical)

@@ -1,0 +1,31 @@
+"""Tier-1 scale acceptance: a ~1k-device Dragonfly discovers fully.
+
+Pins the mega-scale contract at a size tier-1 can afford: the
+992-device ``dragonfly-k8m62`` builds, completes a full parallel
+discovery, and does so within a pinned kernel-event budget — so event
+blow-ups (accidental per-port work, retry storms, route churn) fail
+the suite instead of only showing up in the scale bench.
+"""
+
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.topology import resolve_topology
+
+#: Kernel events scheduled for the whole run (measured 847,323 on the
+#: tree that introduced the generators; headroom for small refactors,
+#: tight enough to catch a per-device or per-port regression).
+EVENT_BUDGET = 950_000
+
+
+class TestThousandDeviceDragonfly:
+    def test_discovery_completes_within_event_budget(self):
+        spec = resolve_topology("dragonfly-k8m62")
+        setup = build_simulation(spec, algorithm="parallel")
+        devices = len(setup.fabric.devices)
+        assert devices == 992
+        stats = run_until_ready(setup)
+        assert stats.devices_found == devices
+        events = next(setup.env._eid)
+        assert events <= EVENT_BUDGET, (
+            f"discovery of {devices} devices scheduled {events:,} events "
+            f"(budget {EVENT_BUDGET:,})"
+        )

@@ -1,0 +1,211 @@
+"""Unit tests for the mega-scale generator families.
+
+Covers the Swapped Dragonfly generator, the auto-designed two-layer
+fat-tree generator, their lossless parseable names, and the registry
+that dispatches CLI/scenario topology strings across every family.
+"""
+
+import pytest
+
+from repro.capability.baseline import MAX_PORT_BLOCKS
+from repro.topology import (
+    canonical_topology_name,
+    dragonfly_name,
+    fat_tree2_name,
+    make_dragonfly,
+    make_fat_tree2,
+    parse_dragonfly_name,
+    parse_fat_tree2_name,
+    resolve_topology,
+)
+
+
+def _switch_adjacency(spec):
+    """name -> set(name) over switch-to-switch links only."""
+    switch_names = {name for name, _ in spec.switches}
+    adj = {name: set() for name in switch_names}
+    for a, _pa, b, _pb in spec.links:
+        if a in switch_names and b in switch_names:
+            adj[a].add(b)
+            adj[b].add(a)
+    return adj
+
+
+def _diameter(adj):
+    from collections import deque
+
+    worst = 0
+    for start in adj:
+        dist = {start: 0}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in adj[v]:
+                if w not in dist:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+        assert len(dist) == len(adj), "switch graph is disconnected"
+        worst = max(worst, max(dist.values()))
+    return worst
+
+
+class TestDragonfly:
+    def test_counts_and_uniform_radix(self):
+        spec = make_dragonfly(4, 8, endpoints_per_switch=2)
+        assert len(spec.switches) == 32          # K * M
+        assert len(spec.endpoints) == 64         # K * M * E
+        radii = {nports for _, nports in spec.switches}
+        assert len(radii) == 1                   # uniform switch radix
+        spec.validate()
+
+    def test_local_links_complete_graph_per_group(self):
+        k, m = 5, 3
+        spec = make_dragonfly(k, m)
+        adj = _switch_adjacency(spec)
+        for g in range(m):
+            for r in range(k):
+                local = {f"sw_{g}_{j}" for j in range(k) if j != r}
+                assert local <= adj[f"sw_{g}_{r}"]
+
+    def test_each_group_pair_has_one_global_link(self):
+        k, m = 4, 6
+        spec = make_dragonfly(k, m)
+        pair_links = {}
+        for a, _pa, b, _pb in spec.links:
+            if a.startswith("sw") and b.startswith("sw"):
+                ga = int(a.split("_")[1])
+                gb = int(b.split("_")[1])
+                if ga != gb:
+                    key = (min(ga, gb), max(ga, gb))
+                    pair_links[key] = pair_links.get(key, 0) + 1
+        assert len(pair_links) == m * (m - 1) // 2
+        assert set(pair_links.values()) == {1}
+
+    def test_switch_diameter_at_most_three(self):
+        # Complete group graphs + complete global pairing: local ->
+        # global -> local is the longest minimal switch path.
+        spec = make_dragonfly(4, 7)
+        assert _diameter(_switch_adjacency(spec)) <= 3
+
+    def test_name_round_trip(self):
+        assert dragonfly_name(16, 125, 4) == "dragonfly-k16m125e4"
+        assert dragonfly_name(8, 62, 1) == "dragonfly-k8m62"
+        assert parse_dragonfly_name("dragonfly-k16m125e4") == (16, 125, 4)
+        assert parse_dragonfly_name("dragonfly-k8m62") == (8, 62, 1)
+        assert parse_dragonfly_name("mesh9") is None
+        assert parse_dragonfly_name("dragonfly-k8") is None
+        spec = make_dragonfly(3, 4, endpoints_per_switch=2)
+        assert parse_dragonfly_name(spec.name) == (3, 4, 2)
+
+    @pytest.mark.parametrize("k,m,e", [(1, 4, 1), (4, 1, 1), (4, 4, 0)])
+    def test_rejects_degenerate_shapes(self, k, m, e):
+        with pytest.raises(ValueError):
+            make_dragonfly(k, m, endpoints_per_switch=e)
+
+    def test_rejects_radix_beyond_port_blocks(self):
+        # Huge K drives local degree past the config-space port cap.
+        with pytest.raises(ValueError):
+            make_dragonfly(MAX_PORT_BLOCKS + 2, 2)
+
+    def test_ten_thousand_device_point(self):
+        spec = make_dragonfly(16, 125, endpoints_per_switch=4)
+        assert len(spec.switches) + len(spec.endpoints) == 10_000
+        radix = spec.switches[0][1]
+        assert radix <= MAX_PORT_BLOCKS
+        spec.validate()
+
+
+class TestFatTree2:
+    def test_auto_design_minimizes_switch_count(self):
+        spec = make_fat_tree2(1024)
+        # Solnushkin-style auto-design: 32 edge + 32 core switches.
+        edges = [n for n, _ in spec.switches if n.startswith("edge")]
+        cores = [n for n, _ in spec.switches if n.startswith("core")]
+        assert len(edges) == 32 and len(cores) == 32
+        assert len(spec.endpoints) == 1024
+        spec.validate()
+
+    def test_every_core_connects_every_edge(self):
+        spec = make_fat_tree2(64)
+        adj = _switch_adjacency(spec)
+        edges = {n for n, _ in spec.switches if n.startswith("edge")}
+        cores = {n for n, _ in spec.switches if n.startswith("core")}
+        for core in cores:
+            assert adj[core] == edges
+
+    def test_explicit_ports_and_blocking(self):
+        spec = make_fat_tree2(16, switch_ports=8, blocking=2)
+        # down=5, up=ceil(5/2)=3: 4 edge switches, 3 cores.
+        edges = [n for n, _ in spec.switches if n.startswith("edge")]
+        cores = [n for n, _ in spec.switches if n.startswith("core")]
+        assert len(edges) == 4 and len(cores) == 3
+        spec.validate()
+
+    def test_name_round_trip(self):
+        assert fat_tree2_name(1024) == "fattree2-1024"
+        assert fat_tree2_name(16, switch_ports=8, blocking=2) \
+            == "fattree2-16m8b2"
+        assert parse_fat_tree2_name("fattree2-1024") == (1024, None, 1)
+        assert parse_fat_tree2_name("fattree2-16m8b2") == (16, 8, 2)
+        assert parse_fat_tree2_name("fattree4-2") is None
+        spec = make_fat_tree2(16, switch_ports=8, blocking=2)
+        assert parse_fat_tree2_name(spec.name) == (16, 8, 2)
+
+    @pytest.mark.parametrize("n,kwargs", [
+        (1, {}),
+        (16, {"blocking": 0}),
+        (16, {"switch_ports": 1}),
+        (10 ** 6, {}),  # no two-layer design fits the port cap
+    ])
+    def test_rejects_impossible_designs(self, n, kwargs):
+        with pytest.raises(ValueError):
+            make_fat_tree2(n, **kwargs)
+
+
+class TestRegistry:
+    def test_canonicalizes_generator_names(self):
+        assert canonical_topology_name(" DRAGONFLY-K4M8E1 ") \
+            == "dragonfly-k4m8"
+        assert canonical_topology_name("Fattree2-1024") == "fattree2-1024"
+
+    def test_still_resolves_table1_aliases(self):
+        assert canonical_topology_name("mesh9") == "3x3 mesh"
+
+    def test_unknown_name_raises_with_guidance(self):
+        with pytest.raises(ValueError, match="generator-family"):
+            canonical_topology_name("hypercube-64")
+
+    def test_resolves_each_family_to_a_spec(self):
+        for name, family in [
+            ("dragonfly-k2m3", "dragonfly"),
+            ("fattree2-8", "fattree2"),
+            ("mesh9", "mesh"),
+        ]:
+            spec = resolve_topology(name)
+            assert spec.family == family
+            spec.validate()
+
+    def test_resolution_matches_direct_construction(self):
+        direct = make_dragonfly(4, 8, endpoints_per_switch=2)
+        resolved = resolve_topology("dragonfly-k4m8e2")
+        assert resolved.links == direct.links
+        assert resolved.switches == direct.switches
+        assert resolved.endpoints == direct.endpoints
+
+
+class TestDiscoveryOnGenerators:
+    """Small end-to-end runs: the generated fabrics actually discover."""
+
+    @pytest.mark.parametrize("name", ["dragonfly-k3m4", "fattree2-8"])
+    def test_full_discovery_finds_everything(self, name):
+        from repro.experiments.runner import (
+            build_simulation,
+            database_matches_fabric,
+            run_until_ready,
+        )
+
+        spec = resolve_topology(name)
+        setup = build_simulation(spec, algorithm="parallel")
+        stats = run_until_ready(setup)
+        assert stats.devices_found == len(setup.fabric.devices)
+        assert database_matches_fabric(setup)
