@@ -30,8 +30,20 @@ Commands
 ``replay``
     Replay every scenario in a regression corpus directory and verify
     each one passes (converged, correct database, clean audit).
+``serve``
+    Host a live simulation as a control-plane daemon speaking
+    line-delimited JSON over TCP: topology/path/status/metrics
+    queries, hot mutations, and a streamed event feed, optionally
+    under continuous churn (see ``docs/SERVICE.md``).
+``topology``
+    List the registered topology families and aliases, or describe
+    one name (device/switch/link counts).
 ``list``
     List the available topologies, aliases, algorithms, and managers.
+
+``serve``, ``churn``, and ``fuzz`` may run for a long time; Ctrl-C
+stops them gracefully (injectors cancelled, one-line summary, exit
+code 130).
 
 Flags are uniform across the experiment commands: ``--topology``
 accepts Table 1 names or shell-friendly aliases (``mesh16``),
@@ -301,6 +313,36 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="corpus directory (default tests/corpus)")
     replay.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (1 = in-process)")
+
+    serve = sub.add_parser(
+        "serve", help="host a live simulation behind a JSON API",
+        parents=[_topology_parent("4x4 mesh"), _algorithm_parent(),
+                 _manager_parent()],
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7817,
+                       help="TCP port; 0 picks an ephemeral one "
+                            "(default 7817)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="churn randomness seed (default 0)")
+    serve.add_argument("--churn", action="store_true",
+                       help="keep a fault injector disturbing the "
+                            "fabric while serving")
+    serve.add_argument("--mean-interval", type=float,
+                       default=DEFAULT_MEAN_INTERVAL, metavar="SECONDS",
+                       help="mean sim-seconds between churn faults "
+                            f"(default {DEFAULT_MEAN_INTERVAL:g})")
+    serve.add_argument("--batch", type=int, default=None, metavar="N",
+                       help="kernel events advanced per command-queue "
+                            "check (latency/throughput knob)")
+
+    topology = sub.add_parser(
+        "topology", help="list or describe registered topologies",
+    )
+    topology.add_argument("name", nargs="?", default=None,
+                          help="a topology name, alias, or generator "
+                               "spec to describe; omit to list all")
     return parser
 
 
@@ -627,6 +669,66 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import start_service
+    manager, algorithm = resolve_variant(args.manager, args.algorithm)
+    kwargs = {} if args.batch is None else {"batch": args.batch}
+    handle = start_service(
+        topology=args.topology, algorithm=algorithm, manager=manager,
+        host=args.host, port=args.port, seed=args.seed,
+        churn=args.churn, mean_interval=args.mean_interval, **kwargs,
+    )
+    churn_note = (f", churn mean_interval={args.mean_interval:g}s"
+                  if args.churn else "")
+    print(f"serving {args.topology} [{algorithm}/{manager}] on "
+          f"{handle.host}:{handle.port}{churn_note}", flush=True)
+    print("Ctrl-C to stop, or send the 'shutdown' op.", flush=True)
+    try:
+        # The service loop thread exits when a client sends `shutdown`.
+        while handle._thread.is_alive():
+            handle._thread.join(timeout=0.2)
+    except KeyboardInterrupt:
+        summary = handle.stop()
+        print(f"\ninterrupted: served {summary['requests']} requests "
+              f"over {summary['connections']} connections, "
+              f"{summary['events_published']} events published, "
+              f"{summary['errors']} errors", flush=True)
+        return 130
+    summary = handle.stop()
+    print(f"shutdown: served {summary['requests']} requests over "
+          f"{summary['connections']} connections, "
+          f"{summary['events_published']} events published, "
+          f"{summary['errors']} errors", flush=True)
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    from .topology.registry import describe_topology, topology_catalog
+    if args.name is None:
+        catalog = topology_catalog()
+        print("Table 1 topologies:")
+        for entry in catalog["table1"]:
+            suffix = (f"  (alias: {entry['alias']})"
+                      if entry["alias"] else "")
+            print(f"  {entry['name']}{suffix}")
+        print("\nGenerator families (parameterised names):")
+        for line in catalog["families"]:
+            print(f"  {line}")
+        return 0
+    try:
+        info = describe_topology(args.name)
+    except ValueError as exc:
+        print(f"topology: {exc}", file=sys.stderr)
+        return 1
+    print(render_kv(f"Topology {info['name']}", info))
+    return 0
+
+
+#: Long-running commands where Ctrl-C means "stop gracefully": the
+#: handler (or this wrapper) prints a one-line summary and exits 130.
+INTERRUPTIBLE = frozenset({"serve", "churn", "fuzz"})
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -641,12 +743,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,
+        "serve": _cmd_serve,
+        "topology": _cmd_topology,
     }
     command = commands.get(args.command)
     if command is None:
         raise AssertionError(f"unhandled command {args.command!r}")
     if getattr(args, "profile", None) is not None:
         return _run_profiled(lambda: command(args), args.profile)
+    if args.command in INTERRUPTIBLE:
+        try:
+            return command(args)
+        except KeyboardInterrupt:
+            # `serve` handles the interrupt itself (it must stop the
+            # injector and the driver thread); churn/fuzz sweeps land
+            # here when a worker pool or in-process run is aborted.
+            print(f"\ninterrupted: {args.command} stopped early",
+                  file=sys.stderr, flush=True)
+            return 130
     return command(args)
 
 

@@ -1,0 +1,47 @@
+"""Fabric-manager-as-a-service: a control-plane daemon over the sim.
+
+The paper's discovery process runs here as one-shot batch experiments;
+a real AS fabric manager is a long-lived *service* that answers
+topology and path queries while the fabric churns underneath it.  This
+package provides that serving layer without touching the simulation
+core:
+
+* :class:`~repro.service.driver.SimulationDriver` — advances the
+  deterministic event kernel on a dedicated thread and executes
+  queries/mutations *between* events, so the sim state is never read
+  or written mid-step;
+* :class:`~repro.service.tap.EventTap` — a passive
+  :class:`~repro.obs.span.SpanTracer` that additionally forwards PI-5
+  notifications and FM span summaries to the live event feed;
+* :mod:`~repro.service.api` — the JSON operation handlers (topology
+  snapshots, path lookup, FM status, metrics scrape, mutation verbs);
+* :class:`~repro.service.server.FabricService` — an asyncio front-end
+  speaking line-delimited JSON to many concurrent clients;
+* :class:`~repro.service.client.ServiceClient` — the small blocking
+  client used by tests and :mod:`benchmarks.bench_service`;
+* :func:`~repro.service.harness.start_service` — an in-process
+  service for tests and benchmarks.
+
+The wire schema is versioned (:data:`~repro.service.api.SCHEMA`); see
+``docs/SERVICE.md`` for the API reference and determinism caveats.
+"""
+
+from .api import SCHEMA, ApiError
+from .client import ServiceClient, ServiceError
+from .driver import DriverStopped, SimulationDriver
+from .harness import ServiceHandle, start_service
+from .server import FabricService
+from .tap import EventTap
+
+__all__ = [
+    "ApiError",
+    "DriverStopped",
+    "EventTap",
+    "FabricService",
+    "SCHEMA",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "SimulationDriver",
+    "start_service",
+]

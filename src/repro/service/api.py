@@ -1,0 +1,335 @@
+"""The service's JSON operation handlers.
+
+Every operation is a pure function from simulation state to a
+JSON-ready result document.  Handlers marked ``sim`` run **on the sim
+thread** (between kernel events, via
+:meth:`~repro.service.driver.SimulationDriver.submit`) because they
+read or mutate live fabric/FM state; the rest touch only static
+registries and may run anywhere.
+
+Read operations
+---------------
+``ping``        liveness + schema version
+``status``      FM status, discovery stats, driver/churn counters
+``topology``    snapshot of the FM's :class:`~repro.manager.database.TopologyDatabase`
+``path``        path + FM source route between two DSNs
+``metrics``     end-of-scrape of the obs :class:`~repro.obs.metrics.MetricsRegistry`
+``topologies``  registered topology families/aliases (+ describe)
+
+Mutation verbs
+--------------
+``remove_device`` / ``restore_device`` / ``fail_link`` /
+``restore_link``  hot topology changes (the API-driven fault plan)
+``rediscover``    trigger a full rediscovery
+``audit``         run the consistency auditor, report + feed the result
+
+``subscribe`` / ``unsubscribe`` / ``shutdown`` are connection-level and
+handled by the server, not here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+import networkx as nx
+
+from ..fabric.fabric import FabricError
+from ..manager.consistency import audit_topology
+from ..obs.metrics import MetricsRegistry
+from ..topology.registry import describe_topology, topology_catalog
+
+#: Wire schema version, announced in the hello banner and ``ping``.
+SCHEMA = "repro/service/v1"
+
+
+class ApiError(Exception):
+    """A client-visible request failure (wrapped into the envelope)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _require(params: dict, key: str, kind, kindname: str):
+    value = params.get(key)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise ApiError(
+            "bad-request", f"{key!r} must be a {kindname}, got {value!r}"
+        )
+    return value
+
+
+def _feed(driver, event: dict) -> None:
+    """Publish to the event feed, if the server wired one up."""
+    sink = getattr(driver, "feed", None)
+    if sink is not None:
+        sink(event)
+
+
+# -- read operations ----------------------------------------------------------
+
+def op_ping(setup, driver, params) -> dict:
+    return {"schema": SCHEMA, "wall_time": time.time()}
+
+
+def op_status(setup, driver, params) -> dict:
+    fm = setup.fm
+    ready = fm.ready_event is not None and fm.ready_event.triggered
+    last = None
+    if fm.history:
+        stats = fm.history[-1]
+        last = stats.asdict()
+    injector = driver.injector
+    manager = ("partial" if type(fm).__name__ == "PartialAssimilationManager"
+               else "full")
+    return {
+        "sim_time": setup.env.now,
+        "topology": setup.spec.name,
+        "algorithm": fm.algorithm_key,
+        "manager": manager,
+        "ready": ready,
+        "is_discovering": fm.is_discovering,
+        "discoveries": len(fm.history),
+        "devices_known": len(fm.database),
+        "last_discovery": last,
+        "counters": fm.counters.asdict(),
+        "driver": {
+            "events_stepped": driver.events_stepped,
+            "commands_run": driver.commands_run,
+            "crashed": repr(driver.crashed) if driver.crashed else None,
+        },
+        "churn": None if injector is None else {
+            "faults_injected": len(injector.log),
+            "mid_discovery_faults": injector.mid_discovery_faults,
+            "kinds": injector.summary(),
+        },
+    }
+
+
+def op_topology(setup, driver, params) -> dict:
+    db = setup.fm.database
+    devices = []
+    links = []
+    for record in sorted(db.devices(), key=lambda r: r.dsn):
+        devices.append({
+            "dsn": record.dsn,
+            "type": "switch" if record.is_switch else "endpoint",
+            "nports": record.nports,
+            "fm_capable": record.fm_capable,
+        })
+        for index in sorted(record.ports):
+            port = record.ports[index]
+            if port.neighbor_dsn is None or not port.up:
+                continue
+            if port.neighbor_dsn not in db:
+                continue
+            far = (port.neighbor_dsn,
+                   -1 if port.neighbor_port is None else port.neighbor_port)
+            if (record.dsn, index) < far:
+                links.append([record.dsn, index, far[0], far[1]])
+    return {
+        "sim_time": setup.env.now,
+        "summary": db.summary(),
+        "devices": devices,
+        "links": links,
+    }
+
+
+def op_path(setup, driver, params) -> dict:
+    src = _require(params, "src", int, "DSN integer")
+    dst = _require(params, "dst", int, "DSN integer")
+    db = setup.fm.database
+    if src not in db:
+        raise ApiError("unknown-dsn", f"DSN {src:#x} not in the database")
+    if dst not in db:
+        raise ApiError("unknown-dsn", f"DSN {dst:#x} not in the database")
+    graph = db.graph()
+    try:
+        hops = nx.shortest_path(graph, src, dst)
+    except nx.NetworkXNoPath:
+        raise ApiError(
+            "no-path", f"no path between {src:#x} and {dst:#x}"
+        ) from None
+    record = db.device(dst)
+    fm_route = None
+    if record.ingress_port is not None:
+        fm_route = {
+            "out_port": record.out_port,
+            "ingress_port": record.ingress_port,
+            "hops": [
+                {"nports": hop.nports, "in_port": hop.in_port,
+                 "out_port": hop.out_port}
+                for hop in record.route_hops
+            ],
+        }
+    return {
+        "sim_time": setup.env.now,
+        "src": src,
+        "dst": dst,
+        "hops": [int(dsn) for dsn in hops],
+        "length": len(hops) - 1,
+        "fm_route": fm_route,
+    }
+
+
+def op_metrics(setup, driver, params) -> dict:
+    registry = MetricsRegistry()
+    registry.scrape_setup(setup)
+    registry.gauge(
+        "service.events_stepped",
+        help="kernel events advanced by the driver",
+    ).set(driver.events_stepped)
+    registry.gauge(
+        "service.commands_run",
+        help="commands executed on the sim thread",
+    ).set(driver.commands_run)
+    tap = getattr(driver, "tap", None)
+    if tap is not None:
+        registry.gauge("service.feed_pi5").set(tap.forwarded["pi5"])
+        registry.gauge("service.feed_spans").set(tap.forwarded["span"])
+    return {"sim_time": setup.env.now, "metrics": registry.collect()}
+
+
+def op_topologies(setup, driver, params) -> dict:
+    result = {"catalog": topology_catalog()}
+    name = params.get("describe")
+    if name is not None:
+        if not isinstance(name, str):
+            raise ApiError("bad-request", "'describe' must be a name")
+        try:
+            result["described"] = describe_topology(name)
+        except ValueError as exc:
+            raise ApiError("unknown-topology", str(exc)) from None
+    return result
+
+
+# -- mutation verbs ------------------------------------------------------------
+
+def _mutation_event(driver, setup, verb: str, target: str) -> None:
+    _feed(driver, {
+        "event": "mutation",
+        "verb": verb,
+        "target": target,
+        "sim_time": setup.env.now,
+    })
+
+
+def op_remove_device(setup, driver, params) -> dict:
+    name = _require(params, "name", str, "device name")
+    try:
+        setup.fabric.remove_device(name)
+    except FabricError as exc:
+        raise ApiError("bad-mutation", str(exc)) from None
+    _mutation_event(driver, setup, "remove_device", name)
+    return {"removed": name, "sim_time": setup.env.now}
+
+
+def op_restore_device(setup, driver, params) -> dict:
+    name = _require(params, "name", str, "device name")
+    try:
+        setup.fabric.restore_device(name)
+    except FabricError as exc:
+        raise ApiError("bad-mutation", str(exc)) from None
+    _mutation_event(driver, setup, "restore_device", name)
+    return {"restored": name, "sim_time": setup.env.now}
+
+
+def op_fail_link(setup, driver, params) -> dict:
+    a = _require(params, "a", str, "device name")
+    b = _require(params, "b", str, "device name")
+    try:
+        setup.fabric.fail_link(a, b)
+    except FabricError as exc:
+        raise ApiError("bad-mutation", str(exc)) from None
+    _mutation_event(driver, setup, "fail_link", f"{a}<->{b}")
+    return {"failed": [a, b], "sim_time": setup.env.now}
+
+
+def op_restore_link(setup, driver, params) -> dict:
+    a = _require(params, "a", str, "device name")
+    b = _require(params, "b", str, "device name")
+    try:
+        setup.fabric.restore_link(a, b)
+    except FabricError as exc:
+        raise ApiError("bad-mutation", str(exc)) from None
+    _mutation_event(driver, setup, "restore_link", f"{a}<->{b}")
+    return {"restored": [a, b], "sim_time": setup.env.now}
+
+
+def op_rediscover(setup, driver, params) -> dict:
+    force = bool(params.get("force", False))
+    fm = setup.fm
+    if fm.is_discovering and not force:
+        raise ApiError(
+            "busy", "a discovery is already running (pass force=true "
+            "to abort it and restart)"
+        )
+    fm.start_discovery(trigger="change" if fm.history else "initial",
+                       force=force)
+    _mutation_event(driver, setup, "rediscover", setup.spec.name)
+    return {"started": True, "sim_time": setup.env.now}
+
+
+def op_audit(setup, driver, params) -> dict:
+    report = audit_topology(setup.fabric, setup.fm)
+    result = report.asdict()
+    result["summary"] = report.summary()
+    result["sample"] = [str(d) for d in report.differences[:20]]
+    _feed(driver, {
+        "event": "audit",
+        "ok": report.ok,
+        "differences": len(report.differences),
+        "by_kind": report.by_kind(),
+        "sim_time": setup.env.now,
+    })
+    return result
+
+
+#: op -> (handler, runs-on-sim-thread).
+HANDLERS: Dict[str, Tuple[Callable, bool]] = {
+    "ping": (op_ping, False),
+    "status": (op_status, True),
+    "topology": (op_topology, True),
+    "path": (op_path, True),
+    "metrics": (op_metrics, True),
+    "topologies": (op_topologies, False),
+    "remove_device": (op_remove_device, True),
+    "restore_device": (op_restore_device, True),
+    "fail_link": (op_fail_link, True),
+    "restore_link": (op_restore_link, True),
+    "rediscover": (op_rediscover, True),
+    "audit": (op_audit, True),
+}
+
+#: Ops that mutate the simulation (reported apart in service stats).
+MUTATIONS = frozenset((
+    "remove_device", "restore_device", "fail_link", "restore_link",
+    "rediscover",
+))
+
+
+def handler_for(op: str) -> Tuple[Callable, bool]:
+    """Resolve an op name; raises :class:`ApiError` for unknown ops."""
+    entry = HANDLERS.get(op)
+    if entry is None:
+        raise ApiError(
+            "unknown-op",
+            f"unknown op {op!r} (known: {', '.join(sorted(HANDLERS))}, "
+            f"plus subscribe/unsubscribe/shutdown)",
+        )
+    return entry
+
+
+def call_op(driver, op: str, params: Optional[dict] = None):
+    """Synchronous dispatch (tests and in-process tools).
+
+    Runs sim-thread ops through the driver's command queue exactly as
+    the server would.
+    """
+    fn, needs_sim = handler_for(op)
+    params = params or {}
+    if needs_sim:
+        return driver.call(lambda setup: fn(setup, driver, params))
+    return fn(None, driver, params)

@@ -1,0 +1,188 @@
+"""The simulation driver: one thread owns the kernel, everyone else asks.
+
+The event kernel (:class:`~repro.sim.core.Environment`) is strictly
+single-threaded — its heap, clock, and every fabric object are free of
+locks by design, which is exactly what keeps batch runs bit-identical.
+A serving daemon therefore may not let request handlers touch the
+simulation directly.  :class:`SimulationDriver` enforces the split:
+
+* the driver's thread is the *only* thread that ever advances the
+  clock or reads fabric/FM state;
+* clients :meth:`submit` closures; the driver executes them **between
+  kernel events**, so every query and mutation observes (or produces)
+  a consistent simulation state;
+* the kernel advances in bounded batches, checking the command queue
+  between batches, so query latency stays bounded even while a
+  discovery storm keeps the heap full;
+* when the heap drains (a quiescent fabric with no churn), the driver
+  blocks on the command queue instead of spinning.
+
+Determinism: the simulation itself stays deterministic — same event
+order, same randomness — for a given sequence of submitted mutations
+at given sim times.  What wall-clock serving adds is *when* a mutation
+lands on the sim clock; see ``docs/SERVICE.md`` for the caveats.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Callable, Optional
+
+from ..experiments.runner import SimulationSetup
+
+Infinity = float("inf")
+
+#: Kernel events advanced per command-queue check.
+DEFAULT_BATCH = 128
+
+#: Seconds the driver blocks waiting for a command while idle.
+IDLE_WAIT = 0.02
+
+
+class DriverStopped(RuntimeError):
+    """Submitted to a driver that has stopped (or crashed)."""
+
+
+class SimulationDriver:
+    """Advance ``setup``'s simulation on a dedicated thread.
+
+    Parameters
+    ----------
+    setup:
+        A built simulation (:func:`~repro.experiments.runner.build_simulation`).
+    injector:
+        Optional running :class:`~repro.workloads.faults.FaultInjector`
+        providing background churn; :meth:`stop` stops it first (its
+        pending timers are cancelled via ``Environment.cancel``).
+    batch:
+        Kernel events processed between command-queue checks — the
+        knob trading sim throughput against query latency.
+    """
+
+    def __init__(self, setup: SimulationSetup, injector=None,
+                 batch: int = DEFAULT_BATCH):
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        self.setup = setup
+        self.env = setup.env
+        self.injector = injector
+        self.batch = batch
+        #: Exception that killed the kernel, if any (queries still run).
+        self.crashed: Optional[BaseException] = None
+        #: Kernel events stepped by this driver (service metric).
+        self.events_stepped = 0
+        #: Commands executed on the sim thread (service metric).
+        self.commands_run = 0
+        self._commands: "queue.Queue" = queue.Queue()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "SimulationDriver":
+        if self._thread is not None:
+            raise RuntimeError("driver already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="sim-driver", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return (self._thread is not None and self._thread.is_alive()
+                and not self._stop.is_set())
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop churn, stop the loop, join the thread (idempotent)."""
+        if self._thread is None or self._stop.is_set():
+            self._stop.set()
+            return
+        if self.injector is not None:
+            try:
+                self.call(lambda _setup: self.injector.stop(),
+                          timeout=timeout)
+            except (DriverStopped, TimeoutError):
+                pass
+        self._stop.set()
+        self._commands.put(None)  # wake an idle loop
+        self._thread.join(timeout)
+        self._drain_rejected()
+
+    # -- command plane -------------------------------------------------------
+    def submit(self, fn: Callable[[SimulationSetup], object]) -> Future:
+        """Run ``fn(setup)`` on the sim thread between kernel events.
+
+        Returns a :class:`concurrent.futures.Future` with the result;
+        exceptions raised by ``fn`` propagate through it.
+        """
+        future: Future = Future()
+        if self._stop.is_set() or self._thread is None:
+            future.set_exception(DriverStopped("driver is not running"))
+            return future
+        self._commands.put((fn, future))
+        return future
+
+    def call(self, fn: Callable[[SimulationSetup], object],
+             timeout: float = 30.0):
+        """Blocking :meth:`submit` (raises on timeout / fn error)."""
+        return self.submit(fn).result(timeout)
+
+    # -- loop ----------------------------------------------------------------
+    def _loop(self) -> None:
+        env = self.env
+        while not self._stop.is_set():
+            self._run_pending_commands()
+            if self._stop.is_set():
+                break
+            if self.crashed is not None or env.peek() == Infinity:
+                # Nothing to simulate: block briefly for a command.
+                try:
+                    item = self._commands.get(timeout=IDLE_WAIT)
+                except queue.Empty:
+                    continue
+                self._run_command(item)
+                continue
+            stepped = 0
+            try:
+                while stepped < self.batch and env.peek() != Infinity:
+                    env.step()
+                    stepped += 1
+            except BaseException as exc:  # kernel died: keep serving reads
+                self.crashed = exc
+            self.events_stepped += stepped
+        self._drain_rejected()
+
+    def _run_pending_commands(self) -> None:
+        while True:
+            try:
+                item = self._commands.get_nowait()
+            except queue.Empty:
+                return
+            self._run_command(item)
+
+    def _run_command(self, item) -> None:
+        if item is None:  # stop() wake-up sentinel
+            return
+        fn, future = item
+        if not future.set_running_or_notify_cancel():
+            return
+        self.commands_run += 1
+        try:
+            future.set_result(fn(self.setup))
+        except BaseException as exc:
+            future.set_exception(exc)
+
+    def _drain_rejected(self) -> None:
+        """Fail any commands left behind after the loop exits."""
+        while True:
+            try:
+                item = self._commands.get_nowait()
+            except queue.Empty:
+                return
+            if item is None:
+                continue
+            _fn, future = item
+            if future.set_running_or_notify_cancel():
+                future.set_exception(DriverStopped("driver stopped"))

@@ -1,0 +1,155 @@
+"""In-process service bring-up for tests, benchmarks, and the CLI.
+
+:func:`start_service` builds a simulation, wires the tap and optional
+churn injector, starts the driver thread and the asyncio server on a
+background thread, and hands back a :class:`ServiceHandle` that knows
+how to mint clients and how to tear everything down in the right
+order (server first, then driver — the driver stops the injector via
+``Environment.cancel`` before the kernel thread exits).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..experiments.runner import SimulationSetup, build_simulation
+from ..topology.registry import resolve_topology
+from ..workloads.faults import FaultInjector
+from .client import ServiceClient
+from .driver import SimulationDriver
+from .server import FabricService
+from .tap import EventTap
+
+#: Fault budget for "endless" churn: large enough that a serving
+#: session never exhausts it, small enough to bound the fault log.
+CHURN_FAULT_BUDGET = 1_000_000
+
+
+@dataclass
+class ServiceHandle:
+    """A running service: address, live objects, and teardown."""
+
+    host: str
+    port: int
+    setup: SimulationSetup
+    driver: SimulationDriver
+    service: FabricService
+    tap: EventTap
+    injector: Optional[FaultInjector] = None
+    _loop: Optional[asyncio.AbstractEventLoop] = None
+    _thread: Optional[threading.Thread] = None
+    _stopped: bool = field(default=False, repr=False)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def client(self, timeout: float = 30.0) -> ServiceClient:
+        """Open a new blocking client connection to this service."""
+        return ServiceClient(self.host, self.port, timeout=timeout)
+
+    def stop(self, timeout: float = 10.0) -> dict:
+        """Stop server then driver; returns the service summary."""
+        if self._stopped:
+            return self.service.summary()
+        self._stopped = True
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self.driver.stop(timeout=timeout)
+        return self.service.summary()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_service(
+    topology: str = "mesh9",
+    algorithm: str = "parallel",
+    manager: str = "full",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    seed: int = 0,
+    churn: bool = False,
+    mean_interval: float = 2e-3,
+    batch: Optional[int] = None,
+    **fm_kwargs,
+) -> ServiceHandle:
+    """Build, wire, and start a fabric service; returns its handle.
+
+    With ``churn=True`` a :class:`~repro.workloads.faults.FaultInjector`
+    keeps disturbing the fabric (FM host protected, effectively
+    unlimited fault budget) so clients query a moving target.  The
+    returned handle's ``port`` is the actual bound port (pass
+    ``port=0`` for an ephemeral one).
+    """
+    spec = resolve_topology(topology)
+    tap = EventTap()
+    setup = build_simulation(
+        spec, algorithm=algorithm, manager=manager, **fm_kwargs,
+    )
+    # attach_tracer is non-perturbing and retroactively opens the span
+    # for the discovery that auto-started at power-up.
+    setup.fm.attach_tracer(tap)
+    injector = None
+    if churn:
+        protect = [spec.fm_host or (spec.endpoints[0]
+                                    if spec.endpoints else None)]
+        injector = FaultInjector(
+            setup.fabric, mean_interval=mean_interval,
+            protect=[p for p in protect if p],
+            seed=seed, fm=setup.fm,
+        )
+        injector.run(faults=CHURN_FAULT_BUDGET)
+
+    driver_kwargs = {} if batch is None else {"batch": batch}
+    driver = SimulationDriver(setup, injector=injector, **driver_kwargs)
+    driver.tap = tap
+    service = FabricService(driver, host=host, port=port)
+
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure = []
+
+    async def _serve():
+        try:
+            address = await service.start()
+        except Exception as exc:
+            failure.append(exc)
+            started.set()
+            return
+        handle.host, handle.port = address
+        started.set()
+        await service.serve_until_shutdown()
+
+    def _run_loop():
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(_serve())
+        finally:
+            loop.close()
+
+    handle = ServiceHandle(
+        host=host, port=port, setup=setup, driver=driver,
+        service=service, tap=tap, injector=injector,
+        _loop=loop,
+    )
+    driver.start()
+    thread = threading.Thread(target=_run_loop, name="service-loop",
+                              daemon=True)
+    handle._thread = thread
+    thread.start()
+    if not started.wait(timeout=30.0):
+        driver.stop()
+        raise RuntimeError("service failed to start within 30s")
+    if failure:
+        driver.stop()
+        raise failure[0]
+    return handle

@@ -1,0 +1,288 @@
+"""Asyncio front-end: line-delimited JSON over TCP, many clients.
+
+One :class:`FabricService` wraps one
+:class:`~repro.service.driver.SimulationDriver`.  Clients connect over
+TCP and exchange newline-terminated JSON documents:
+
+* on connect the server sends a hello banner
+  ``{"event": "hello", "schema": "repro/service/v1", ...}``;
+* each request line ``{"id": 7, "op": "topology", ...params}`` gets
+  exactly one response line ``{"id": 7, "ok": true, "result": ...}``
+  (or ``"ok": false`` with an ``error`` object — the connection
+  survives request errors);
+* after a ``subscribe`` request the server additionally pushes feed
+  events (``{"event": "pi5"|"span"|"mutation"|"audit", "seq": n,
+  ...}``) as they happen; responses and events never interleave
+  within a line.
+
+Requests from many clients are serviced concurrently by the asyncio
+loop; the ones that touch simulation state await their turn on the
+driver's command queue, so the kernel itself stays single-threaded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Set, Tuple
+
+from . import api
+from .driver import SimulationDriver
+
+#: Feed events buffered per subscriber before drops are counted.
+FEED_QUEUE_LIMIT = 4096
+
+
+class FeedHub:
+    """Fan-out point between the sim thread and subscribed clients.
+
+    ``publish`` is the only thread-safe entry point: it stamps a
+    sequence number and hops onto the asyncio loop, which distributes
+    the event to every subscriber queue.  A slow subscriber loses
+    events (counted in ``dropped``) rather than stalling the feed.
+    """
+
+    def __init__(self):
+        self._subscribers: Set[asyncio.Queue] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.published = 0
+        self.dropped = 0
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    def publish(self, event: dict) -> None:
+        """Thread-safe: forward ``event`` to every subscriber."""
+        with self._lock:
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            self._seq += 1
+            event = dict(event, seq=self._seq)
+            self.published += 1
+        try:
+            loop.call_soon_threadsafe(self._fan_out, event)
+        except RuntimeError:  # loop shut down mid-publish
+            pass
+
+    def _fan_out(self, event: dict) -> None:
+        for queue in list(self._subscribers):
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                self.dropped += 1
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=FEED_QUEUE_LIMIT)
+        self._subscribers.add(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        self._subscribers.discard(queue)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+
+def _encode(document: dict) -> bytes:
+    return (json.dumps(document, sort_keys=True, separators=(",", ":"))
+            + "\n").encode()
+
+
+class FabricService:
+    """The daemon: accepts clients, dispatches ops, streams the feed."""
+
+    def __init__(self, driver: SimulationDriver,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.driver = driver
+        self.host = host
+        self.port = port
+        self.hub = FeedHub()
+        self.address: Optional[Tuple[str, int]] = None
+        #: Service-level stats, reported by :meth:`summary`.
+        self.requests = 0
+        self.errors = 0
+        self.connections_accepted = 0
+        self.by_op: Dict[str, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._connections: Set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        loop = asyncio.get_running_loop()
+        self.hub.bind(loop)
+        # Handlers publish mutations/audits through the same feed the
+        # tap uses (see api._feed).
+        self.driver.feed = self.hub.publish
+        tap = getattr(self.driver, "tap", None)
+        if tap is not None:
+            tap.sink = self.hub.publish
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (safe from the loop's thread)."""
+        self._shutdown.set()
+
+    def summary(self) -> dict:
+        """One-line-able account of what the daemon did."""
+        return {
+            "connections": self.connections_accepted,
+            "requests": self.requests,
+            "errors": self.errors,
+            "events_published": self.hub.published,
+            "events_dropped": self.hub.dropped,
+            "by_op": dict(sorted(self.by_op.items())),
+        }
+
+    # -- per-connection ------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.connections_accepted += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        write_lock = asyncio.Lock()
+        feed_queue: Optional[asyncio.Queue] = None
+        pump_task: Optional[asyncio.Task] = None
+
+        async def send(document: dict) -> None:
+            async with write_lock:
+                writer.write(_encode(document))
+                await writer.drain()
+
+        try:
+            await send({
+                "event": "hello",
+                "schema": api.SCHEMA,
+                "topology": self.driver.setup.spec.name,
+                "algorithm": self.driver.setup.fm.algorithm_key,
+            })
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                request_id, response = None, None
+                try:
+                    document = json.loads(line)
+                    if not isinstance(document, dict):
+                        raise api.ApiError(
+                            "bad-request", "request must be a JSON object"
+                        )
+                    request_id = document.get("id")
+                    op = document.get("op")
+                    if not isinstance(op, str):
+                        raise api.ApiError(
+                            "bad-request", "request needs a string 'op'"
+                        )
+                    if op == "subscribe":
+                        if feed_queue is None:
+                            feed_queue = self.hub.subscribe()
+                            pump_task = asyncio.ensure_future(
+                                self._pump(feed_queue, send)
+                            )
+                        result = {"subscribed": True}
+                    elif op == "unsubscribe":
+                        if pump_task is not None:
+                            pump_task.cancel()
+                            pump_task = None
+                        if feed_queue is not None:
+                            self.hub.unsubscribe(feed_queue)
+                            feed_queue = None
+                        result = {"subscribed": False}
+                    elif op == "shutdown":
+                        result = {"stopping": True}
+                        self.requests += 1
+                        self.by_op[op] = self.by_op.get(op, 0) + 1
+                        await send({"id": request_id, "ok": True,
+                                    "result": result})
+                        self.request_shutdown()
+                        break
+                    else:
+                        result = await self._dispatch(op, document)
+                    self.requests += 1
+                    self.by_op[op] = self.by_op.get(op, 0) + 1
+                    response = {"id": request_id, "ok": True,
+                                "result": result}
+                except api.ApiError as exc:
+                    self.errors += 1
+                    response = {
+                        "id": request_id, "ok": False,
+                        "error": {"code": exc.code,
+                                  "message": exc.message},
+                    }
+                except json.JSONDecodeError as exc:
+                    self.errors += 1
+                    response = {
+                        "id": request_id, "ok": False,
+                        "error": {"code": "bad-json", "message": str(exc)},
+                    }
+                except Exception as exc:  # handler bug: report, stay up
+                    self.errors += 1
+                    response = {
+                        "id": request_id, "ok": False,
+                        "error": {"code": "internal",
+                                  "message": f"{type(exc).__name__}: "
+                                             f"{exc}"},
+                    }
+                await send(response)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError, asyncio.CancelledError):
+            pass
+        finally:
+            if pump_task is not None:
+                pump_task.cancel()
+            if feed_queue is not None:
+                self.hub.unsubscribe(feed_queue)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, op: str, params: dict):
+        fn, needs_sim = api.handler_for(op)
+        if needs_sim:
+            future = self.driver.submit(
+                lambda setup: fn(setup, self.driver, params)
+            )
+            return await asyncio.wrap_future(future)
+        # Registry-only ops may still build large specs; keep them off
+        # the event loop.
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: fn(None, self.driver, params)
+        )
+
+    async def _pump(self, queue: asyncio.Queue, send) -> None:
+        try:
+            while True:
+                event = await queue.get()
+                await send(event)
+        except asyncio.CancelledError:
+            pass

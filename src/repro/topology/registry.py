@@ -70,3 +70,43 @@ def resolve_topology(name: str) -> TopologySpec:
         num, extra, seed = parsed
         return make_irregular(num, extra_links=extra, seed=seed)
     return table1_topology(canonical)
+
+
+def topology_catalog() -> dict:
+    """Every registered name, for ``repro topology`` and the service.
+
+    Returns a JSON-ready document: the Table 1 names (with their
+    shell-friendly aliases) and the usage line of each parameterised
+    generator family.
+    """
+    reverse = {name: alias for alias, name in ALIASES.items()}
+    return {
+        "table1": [
+            {"name": name, "alias": reverse.get(name)}
+            for name in TABLE1_NAMES
+        ],
+        "families": list(GENERATOR_FAMILIES),
+    }
+
+
+def describe_topology(name: str) -> dict:
+    """Size accounting for any resolvable topology name.
+
+    Builds the spec (cheap for Table 1, proportional to device count
+    for the generator families) and reports its device/switch/
+    endpoint/link counts — the ``repro topology NAME`` and service
+    ``topologies`` payload.
+    """
+    spec = resolve_topology(name)
+    return {
+        "name": spec.name,
+        "canonical": canonical_topology_name(name),
+        "family": spec.family,
+        "devices": spec.total_devices,
+        "switches": spec.num_switches,
+        "endpoints": spec.num_endpoints,
+        "links": len(spec.links),
+        "fm_host": spec.fm_host or (
+            spec.endpoints[0] if spec.endpoints else None
+        ),
+    }

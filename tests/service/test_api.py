@@ -1,0 +1,172 @@
+"""Golden-response tests for the service API handlers.
+
+These run the handlers in-process against a fully-discovered 3x3 mesh
+(deterministic: no churn, no wall clock), so the response documents
+are stable and can be asserted structurally — the JSON the wire would
+carry, without the wire.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.service import api
+from repro.service.driver import DriverStopped, SimulationDriver
+from repro.topology.registry import (
+    describe_topology,
+    resolve_topology,
+    topology_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def ready_setup():
+    setup = build_simulation(resolve_topology("mesh9"))
+    run_until_ready(setup)
+    return setup
+
+
+@pytest.fixture(scope="module")
+def driver(ready_setup):
+    # Not started: handler tests call the functions directly, so the
+    # sim state stays frozen at the post-discovery instant.
+    return SimulationDriver(ready_setup)
+
+
+def _json_roundtrip(document):
+    """Every response must be plain-JSON serialisable."""
+    return json.loads(json.dumps(document))
+
+
+class TestStatus:
+    def test_golden_shape(self, ready_setup, driver):
+        result = _json_roundtrip(
+            api.op_status(ready_setup, driver, {}))
+        assert result["topology"] == "3x3 mesh"
+        assert result["algorithm"] == "parallel"
+        assert result["manager"] == "full"
+        assert result["ready"] is True
+        assert result["is_discovering"] is False
+        assert result["discoveries"] == 1
+        assert result["devices_known"] == 18
+        assert result["last_discovery"]["devices_found"] == 18
+        assert result["churn"] is None
+        assert result["driver"]["crashed"] is None
+
+
+class TestTopology:
+    def test_golden_snapshot(self, ready_setup, driver):
+        result = _json_roundtrip(
+            api.op_topology(ready_setup, driver, {}))
+        devices = result["devices"]
+        assert len(devices) == 18
+        kinds = [d["type"] for d in devices]
+        assert kinds.count("switch") == 9
+        assert kinds.count("endpoint") == 9
+        assert devices == sorted(devices, key=lambda d: d["dsn"])
+        # 3x3 mesh: 12 switch-switch links + 9 endpoint attachments.
+        assert len(result["links"]) == 21
+        dsns = {d["dsn"] for d in devices}
+        for a_dsn, a_port, b_dsn, b_port in result["links"]:
+            assert a_dsn in dsns and b_dsn in dsns
+            assert (a_dsn, a_port) < (b_dsn, b_port)
+        assert result["summary"]["devices"] == 18
+
+    def test_matches_database(self, ready_setup, driver):
+        result = api.op_topology(ready_setup, driver, {})
+        db = ready_setup.fm.database
+        assert {d["dsn"] for d in result["devices"]} == set(
+            r.dsn for r in db.devices())
+
+
+class TestPath:
+    def test_endpoint_to_endpoint(self, ready_setup, driver):
+        result = _json_roundtrip(api.op_topology(ready_setup, driver, {}))
+        endpoints = [d["dsn"] for d in result["devices"]
+                     if d["type"] == "endpoint"]
+        path = _json_roundtrip(api.op_path(
+            ready_setup, driver, {"src": endpoints[0],
+                                  "dst": endpoints[-1]}))
+        assert path["hops"][0] == endpoints[0]
+        assert path["hops"][-1] == endpoints[-1]
+        assert path["length"] == len(path["hops"]) - 1
+        # Both endpoints hang off the mesh, so the FM programmed a
+        # source route to the destination.
+        assert path["fm_route"] is not None
+        assert path["fm_route"]["hops"]
+
+    def test_unknown_dsn(self, ready_setup, driver):
+        with pytest.raises(api.ApiError) as err:
+            api.op_path(ready_setup, driver,
+                        {"src": 0xDEAD, "dst": 0xBEEF})
+        assert err.value.code == "unknown-dsn"
+
+    def test_bad_params(self, ready_setup, driver):
+        with pytest.raises(api.ApiError) as err:
+            api.op_path(ready_setup, driver, {"src": "ep_0_0"})
+        assert err.value.code == "bad-request"
+
+
+class TestMetrics:
+    def test_scrape(self, ready_setup, driver):
+        result = _json_roundtrip(api.op_metrics(ready_setup, driver, {}))
+        names = set(result["metrics"])
+        assert "service.events_stepped" in names
+        assert "service.commands_run" in names
+        assert result["metrics"]["service.events_stepped"]["value"] == 0
+
+
+class TestTopologies:
+    def test_catalog_and_describe(self, driver):
+        result = _json_roundtrip(api.op_topologies(
+            None, driver, {"describe": "mesh9"}))
+        aliases = {e["alias"] for e in result["catalog"]["table1"]}
+        assert "mesh9" in aliases and "torus100" in aliases
+        assert result["described"]["devices"] == 18
+
+    def test_unknown_describe(self, driver):
+        with pytest.raises(api.ApiError) as err:
+            api.op_topologies(None, driver, {"describe": "wat"})
+        assert err.value.code == "unknown-topology"
+
+
+class TestRegistryHelpers:
+    def test_catalog_covers_table1(self):
+        catalog = topology_catalog()
+        assert len(catalog["table1"]) == 13
+        assert catalog["families"]
+
+    def test_describe_consistent_with_spec(self):
+        info = describe_topology("mesh64")
+        spec = resolve_topology("mesh64")
+        assert info["devices"] == spec.total_devices
+        assert info["switches"] == spec.num_switches
+        assert info["links"] == len(spec.links)
+        assert info["canonical"] == "8x8 mesh"
+
+    def test_describe_unknown_raises(self):
+        with pytest.raises(ValueError):
+            describe_topology("not-a-topology")
+
+
+class TestDispatch:
+    def test_unknown_op(self):
+        with pytest.raises(api.ApiError) as err:
+            api.handler_for("frobnicate")
+        assert err.value.code == "unknown-op"
+
+    def test_call_op_runs_on_sim_thread(self, ready_setup):
+        driver = SimulationDriver(ready_setup).start()
+        try:
+            status = api.call_op(driver, "status")
+            assert status["devices_known"] == 18
+            assert driver.commands_run >= 1
+        finally:
+            driver.stop()
+
+    def test_stopped_driver_rejects(self, ready_setup):
+        driver = SimulationDriver(ready_setup).start()
+        driver.stop()
+        with pytest.raises(DriverStopped):
+            api.call_op(driver, "status")

@@ -1,0 +1,151 @@
+"""Live-service tests: real sockets, real threads, real churn.
+
+The scenarios the daemon exists for: many concurrent clients querying
+a moving fabric, mutations arriving over the wire and showing up on
+the event stream, and the consistency auditor confirming the FM
+reconverged afterwards.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceError, start_service
+
+#: Concurrent clients for the hammer test (the ISSUE's floor is 8).
+CLIENT_COUNT = 8
+
+
+def _wait_for(client, predicate, timeout=60.0, interval=0.02):
+    """Poll ``status`` until ``predicate(status)`` holds."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = client.request("status")
+        if predicate(status):
+            return status
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting; last status: {status}")
+
+
+class TestHandshake:
+    def test_hello_banner_and_ping(self):
+        with start_service("mesh9") as handle:
+            with handle.client() as client:
+                assert client.hello["schema"] == "repro/service/v1"
+                assert client.hello["topology"] == "3x3 mesh"
+                assert client.request("ping")["schema"] == client.schema
+
+    def test_unknown_op_keeps_connection_alive(self):
+        with start_service("mesh9") as handle:
+            with handle.client() as client:
+                with pytest.raises(ServiceError) as err:
+                    client.request("frobnicate")
+                assert err.value.code == "unknown-op"
+                assert client.request("ping")["schema"]
+
+    def test_topologies_endpoint_matches_cli_registry(self):
+        from repro.topology.registry import topology_catalog
+        with start_service("mesh9") as handle:
+            with handle.client() as client:
+                result = client.request("topologies")
+                assert result["catalog"] == topology_catalog()
+
+
+class TestConcurrentClients:
+    def test_eight_clients_hammer_churning_fabric(self):
+        with start_service("mesh9", churn=True, seed=7) as handle:
+            errors = []
+            done = []
+
+            def hammer(index):
+                try:
+                    with handle.client() as client:
+                        for i in range(25):
+                            op = ("status", "topology",
+                                  "metrics")[i % 3]
+                            result = client.request(op)
+                            assert "sim_time" in result
+                            if op == "topology":
+                                for device in result["devices"]:
+                                    assert set(device) == {
+                                        "dsn", "type", "nports",
+                                        "fm_capable"}
+                    done.append(index)
+                except Exception as exc:
+                    errors.append(f"client {index}: {exc}")
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,), daemon=True)
+                for i in range(CLIENT_COUNT)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+            assert len(done) == CLIENT_COUNT
+            assert handle.service.connections_accepted >= CLIENT_COUNT
+            # The sim actually advanced while serving.
+            assert handle.driver.events_stepped > 0
+
+
+class TestMutationRoundTrip:
+    def test_hot_remove_streams_events_and_audits_clean(self):
+        with start_service("mesh9") as handle:
+            with handle.client() as client:
+                client.subscribe()
+                _wait_for(client, lambda s: s["ready"])
+                removed = client.request("remove_device",
+                                         name="sw_1_1")
+                assert removed["removed"] == "sw_1_1"
+
+                # The mutation itself is feed-visible...
+                event = client.next_event(timeout=30)
+                seen = {event["event"]}
+                # ...and the FM notices via PI-5 and rediscovers.
+                deadline = time.monotonic() + 60
+                while ("pi5" not in seen
+                       and time.monotonic() < deadline):
+                    seen.add(client.next_event(timeout=30)["event"])
+                assert "mutation" in seen
+                assert "pi5" in seen
+
+                status = _wait_for(
+                    client,
+                    lambda s: (s["discoveries"] >= 2
+                               and not s["is_discovering"]),
+                )
+                # The switch and its now-unreachable endpoint are gone.
+                assert status["devices_known"] == 16
+
+                audit = client.request("audit")
+                assert audit["ok"] is True
+                assert audit["differences"] == 0
+
+    def test_bad_mutation_reports_error(self):
+        with start_service("mesh9") as handle:
+            with handle.client() as client:
+                with pytest.raises(ServiceError) as err:
+                    client.request("remove_device", name="no_such")
+                assert err.value.code == "bad-mutation"
+
+
+class TestShutdown:
+    def test_shutdown_op_stops_the_service(self):
+        handle = start_service("mesh9")
+        try:
+            with handle.client() as client:
+                assert client.request("shutdown")["stopping"] is True
+            handle._thread.join(timeout=30)
+            assert not handle._thread.is_alive()
+            with pytest.raises(OSError):
+                handle.client(timeout=2.0)
+        finally:
+            handle.stop()
+
+    def test_stop_is_idempotent_and_stops_driver(self):
+        handle = start_service("mesh9", churn=True)
+        summary = handle.stop()
+        assert handle.stop() == summary
+        assert not handle.driver.running
