@@ -18,6 +18,11 @@ Commands
     Soak discovery under mid-walk topology churn (seeded fault bursts
     preferring mid-discovery instants) and report the recovery work,
     time to converge, and the consistency auditor's verdict.
+``failover``
+    Kill the fabric manager under churn and hand the fabric to a
+    standby: cold rediscovery vs warm mirror takeover, detection and
+    recovery latency, and (with ``--restart-primary``) the ownership-
+    epoch fencing duel with the resurrected old primary.
 ``trace``
     Run one traced scenario and export its span/packet timeline as a
     Chrome-trace JSON (load it in ``chrome://tracing`` or Perfetto),
@@ -41,7 +46,8 @@ Commands
 ``list``
     List the available topologies, aliases, algorithms, and managers.
 
-``serve``, ``churn``, and ``fuzz`` may run for a long time; Ctrl-C
+``serve``, ``churn``, ``failover``, and ``fuzz`` may run for a long
+time; Ctrl-C
 stops them gracefully (injectors cancelled, one-line summary, exit
 code 130).
 
@@ -76,6 +82,14 @@ from .experiments.churn import (
     sweep_churn,
 )
 from .experiments.executor import run_many
+from .experiments.failover import (
+    DEFAULT_FAULTS as FAILOVER_FAULTS,
+    DEFAULT_HEARTBEAT,
+    DEFAULT_MISS_THRESHOLD,
+    render_failover,
+    summarize_failover,
+    sweep_failover,
+)
 from .experiments.reliability import (
     DEFAULT_BIT_ERROR_RATES,
     render_reliability,
@@ -245,6 +259,42 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="mean seconds between faults (default "
                             f"{DEFAULT_MEAN_INTERVAL:g})")
 
+    failover = sub.add_parser(
+        "failover", help="FM kill/takeover experiment",
+        parents=[_topology_parent("4x4 mesh"), _algorithm_parent(),
+                 _sweep_parent(), _trace_parent(), _profile_parent()],
+    )
+    failover.add_argument(
+        "--mode", default="both", choices=("both", "warm", "cold"),
+        help="standby takeover mode(s) to sweep (default both)")
+    failover.add_argument(
+        "--manager", default="partial", choices=("full", "partial"),
+        help="FM flavour for primary and standby (default partial; "
+             "warm takeover repairs via the partial manager's burst "
+             "machinery)")
+    failover.add_argument(
+        "--faults", type=int, default=None,
+        help="churn faults injected before the kill "
+             f"(default {FAILOVER_FAULTS})")
+    failover.add_argument(
+        "--mean-interval", type=float, default=DEFAULT_MEAN_INTERVAL,
+        metavar="SECONDS",
+        help="mean seconds between churn faults (default "
+             f"{DEFAULT_MEAN_INTERVAL:g})")
+    failover.add_argument(
+        "--heartbeat", type=float, default=DEFAULT_HEARTBEAT,
+        metavar="SECONDS", dest="heartbeat_interval",
+        help="standby heartbeat probe interval (default "
+             f"{DEFAULT_HEARTBEAT:g})")
+    failover.add_argument(
+        "--miss-threshold", type=int, default=DEFAULT_MISS_THRESHOLD,
+        help="consecutive missed heartbeats before takeover "
+             f"(default {DEFAULT_MISS_THRESHOLD})")
+    failover.add_argument(
+        "--restart-primary", action="store_true",
+        help="resurrect the old primary after takeover and verify "
+             "the ownership-epoch fence demotes it")
+
     trace = sub.add_parser(
         "trace", help="run one traced scenario, export its timeline",
         parents=[_topology_parent("4x4 mesh"), _algorithm_parent(),
@@ -336,6 +386,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch", type=int, default=None, metavar="N",
                        help="kernel events advanced per command-queue "
                             "check (latency/throughput knob)")
+    serve.add_argument("--standby", default=None,
+                       choices=("warm", "cold"),
+                       help="run a standby FM on a second endpoint so "
+                            "the kill_fm / promote_standby verbs work")
 
     topology = sub.add_parser(
         "topology", help="list or describe registered topologies",
@@ -573,6 +627,47 @@ def _cmd_churn(args) -> int:
     return 0 if all(r.converged and r.audit_ok for r in results) else 1
 
 
+def _cmd_failover(args) -> int:
+    from .topology.registry import resolve_topology
+    spec = resolve_topology(args.topology)
+    modes = ("warm", "cold") if args.mode == "both" else (args.mode,)
+    faults = FAILOVER_FAULTS if args.faults is None else args.faults
+    seeds = range(args.seed, args.seed + max(1, args.seeds))
+    results = sweep_failover(
+        spec, modes=modes, seeds=seeds, algorithm=args.algorithm,
+        heartbeat_interval=args.heartbeat_interval,
+        miss_threshold=args.miss_threshold, faults=faults,
+        mean_interval=args.mean_interval,
+        restart_primary=args.restart_primary, manager=args.manager,
+        workers=args.jobs, progress=len(modes) * len(seeds) > 1,
+    )
+    rows = summarize_failover(results)
+    print(render_failover(
+        rows, title=f"FM failover on {spec.name} "
+                    f"({len(results)} runs, {faults} churn faults "
+                    f"before each kill)",
+    ))
+    if args.trace:
+        scenario = Scenario(
+            kind="failover", topology=args.topology,
+            algorithm=args.algorithm, manager=args.manager,
+            seed=args.seed, mode=modes[0], faults=faults,
+            mean_interval=args.mean_interval,
+            heartbeat_interval=args.heartbeat_interval,
+            miss_threshold=args.miss_threshold,
+            restart_primary=args.restart_primary or None,
+        )
+        code = _export_trace(scenario, args.trace)
+        if code != 0:
+            return code
+    safe = all(
+        r.converged and r.audit_ok
+        and r.old_primary_demoted in (True, None)
+        for r in results
+    )
+    return 0 if safe else 1
+
+
 def _parse_inject(pairs: Optional[List[str]]) -> Optional[dict]:
     """``--inject KEY=VALUE`` flags as an FM-options dict.
 
@@ -676,7 +771,8 @@ def _cmd_serve(args) -> int:
     handle = start_service(
         topology=args.topology, algorithm=algorithm, manager=manager,
         host=args.host, port=args.port, seed=args.seed,
-        churn=args.churn, mean_interval=args.mean_interval, **kwargs,
+        churn=args.churn, mean_interval=args.mean_interval,
+        standby=args.standby, **kwargs,
     )
     churn_note = (f", churn mean_interval={args.mean_interval:g}s"
                   if args.churn else "")
@@ -726,7 +822,7 @@ def _cmd_topology(args) -> int:
 
 #: Long-running commands where Ctrl-C means "stop gracefully": the
 #: handler (or this wrapper) prints a one-line summary and exits 130.
-INTERRUPTIBLE = frozenset({"serve", "churn", "fuzz"})
+INTERRUPTIBLE = frozenset({"serve", "churn", "failover", "fuzz"})
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -738,6 +834,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "discover": _cmd_discover,
         "change": _cmd_change,
         "churn": _cmd_churn,
+        "failover": _cmd_failover,
         "figure": _cmd_figure,
         "reliability": _cmd_reliability,
         "trace": _cmd_trace,

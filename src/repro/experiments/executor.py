@@ -38,6 +38,7 @@ CHANGE = "change"
 INITIAL = "initial"
 RELIABILITY = "reliability"
 CHURN = "churn"
+FAILOVER = "failover"
 
 #: Start methods tried for the worker pool, cheapest first.
 _START_METHODS = ("fork", "spawn", "forkserver")
@@ -111,6 +112,10 @@ class Job:
         elif self.kind == CHURN:
             manager = (self.options or {}).get("manager", "full")
             parts.append(f"manager={manager}")
+            parts.append(f"seed={self.seed}")
+        elif self.kind == FAILOVER:
+            mode = (self.scenario or {}).get("mode") or "warm"
+            parts.append(f"mode={mode}")
             parts.append(f"seed={self.seed}")
         return " ".join(parts)
 

@@ -1,0 +1,370 @@
+"""Failover experiments: kill the primary FM, measure the takeover.
+
+"If the primary FM fails, the secondary one takes over" (paper,
+section 2) — this family measures *how fast* and *how safely*.  One
+run: settle, churn the fabric for a while (so the standby's mirror is
+genuinely exercised, not a copy of a static topology), kill the
+primary's host endpoint mid-operation, and let the standby detect the
+silence and promote itself.  Warm takeovers (mirror + verify/repair,
+see :class:`repro.manager.failover.StandbyManager`) are compared
+against cold full rediscoveries on the same schedule; detection
+latency and recovery time come from the extended
+:class:`~repro.manager.failover.FailoverReport`.
+
+Optionally the old primary is then resurrected: its neighbours'
+port-up events wake it, it rediscovers, and the ownership-epoch
+fencing must make it demote itself instead of split-braining the
+fabric — the run records whether it did.
+
+Every run is seeded end-to-end (fault schedule, guard sampling), so
+sweep results are bit-identical regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..fabric.params import DEFAULT_PARAMS, FabricParams
+from ..manager.consistency import audit_topology
+from ..manager.failover import MODES, StandbyManager
+from ..manager.fm import FabricManager
+from ..manager.timing import PARALLEL, ProcessingTimeModel
+from ..routing.paths import fabric_route
+from ..topology.spec import TopologySpec
+from ..workloads.faults import FaultInjector
+from .churn import DEFAULT_MEAN_INTERVAL, run_until_quiescent
+from .report import render_table
+from .runner import (
+    MAX_SIM_TIME,
+    build_simulation,
+    database_matches_fabric,
+    run_until_ready,
+)
+
+#: Churn faults injected before the kill (they dirty the mirror).
+DEFAULT_FAULTS = 3
+
+#: Standby heartbeat interval for failover runs.
+DEFAULT_HEARTBEAT = 1e-3
+
+#: Consecutive missed heartbeats before promotion.
+DEFAULT_MISS_THRESHOLD = 3
+
+
+@dataclass
+class FailoverResult:
+    """Outcome of one FM-kill / takeover run."""
+
+    topology: str
+    family: str
+    algorithm: str
+    manager: str
+    #: Takeover mode *requested* ("warm"/"cold").
+    mode: str
+    seed: int
+    heartbeat_interval: float
+    miss_threshold: int
+    #: Churn faults injected before the kill.
+    faults: int
+    #: Takeover mode actually taken (a warm standby with an unusable
+    #: mirror falls back to "cold").
+    takeover_mode: str
+    missed_heartbeats: int
+    #: Seconds from the kill to the standby noticing (heartbeats).
+    detection_latency: float
+    #: Seconds from detection to a converged topology under the new FM.
+    recovery_time: float
+    #: Port-state differences the warm verify pass repaired.
+    repairs: int
+    #: Mirror refreshes completed before the kill (warm only).
+    mirror_syncs: int
+    devices_recovered: int
+    #: Database equals the reachable ground truth (graph comparison).
+    converged: bool
+    #: The consistency auditor found zero differences post-takeover.
+    audit_ok: bool
+    audit_differences: int
+    #: Whether the run resurrected the old primary afterwards.
+    restart_primary: bool
+    #: Fencing verdict: did the resurrected old primary demote itself?
+    #: (``None`` when ``restart_primary`` is off.)
+    old_primary_demoted: Optional[bool] = None
+
+    def asdict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "family": self.family,
+            "algorithm": self.algorithm,
+            "manager": self.manager,
+            "mode": self.mode,
+            "seed": self.seed,
+            "heartbeat_interval": self.heartbeat_interval,
+            "miss_threshold": self.miss_threshold,
+            "faults": self.faults,
+            "takeover_mode": self.takeover_mode,
+            "missed_heartbeats": self.missed_heartbeats,
+            "detection_latency": self.detection_latency,
+            "recovery_time": self.recovery_time,
+            "repairs": self.repairs,
+            "mirror_syncs": self.mirror_syncs,
+            "devices_recovered": self.devices_recovered,
+            "converged": self.converged,
+            "audit_ok": self.audit_ok,
+            "audit_differences": self.audit_differences,
+            "restart_primary": self.restart_primary,
+            "old_primary_demoted": self.old_primary_demoted,
+        }
+
+
+def build_failover_pair(
+    spec: TopologySpec,
+    algorithm: str = PARALLEL,
+    mode: str = "warm",
+    heartbeat_interval: float = DEFAULT_HEARTBEAT,
+    miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+    manager: str = "partial",
+    timing: Optional[ProcessingTimeModel] = None,
+    params: FabricParams = DEFAULT_PARAMS,
+    tracer=None,
+    fm_options: Optional[dict] = None,
+):
+    """Primary on the spec's FM host, standby on the far corner.
+
+    Both managers run with ``fence_ownership`` on (the primary stamps
+    epoch 1; a takeover bumps past it).  The standby's request timeout
+    is tightened so a heartbeat into a dead fabric fails within one
+    interval.  Returns ``(setup, standby)``; the standby is built but
+    not started.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown takeover mode {mode!r}")
+    candidates = [ep for ep in spec.endpoints if ep != (spec.fm_host or "")]
+    if not candidates:
+        raise ValueError(
+            "failover needs a second endpoint to host the standby"
+        )
+    options = dict(fm_options or {})
+    options.setdefault("fence_ownership", True)
+    setup = build_simulation(
+        spec, algorithm=algorithm, timing=timing, params=params,
+        manager=manager, tracer=tracer, **options,
+    )
+    standby_host = sorted(candidates)[-1]
+    standby_class = type(setup.fm) if mode == "warm" else FabricManager
+    standby_fm = standby_class(
+        setup.fabric.device(standby_host),
+        setup.entities[standby_host],
+        timing=setup.fm.timing, algorithm=algorithm,
+        auto_start=False,
+        request_timeout=min(0.3e-3, heartbeat_interval / 2),
+        max_retries=0,
+        **options,
+    )
+    route = fabric_route(setup.fabric, standby_host, setup.fm.endpoint.name)
+    standby = StandbyManager(
+        standby_fm, primary_route=route,
+        heartbeat_interval=heartbeat_interval,
+        miss_threshold=miss_threshold,
+        mode=mode, primary=setup.fm,
+    )
+    return setup, standby
+
+
+def run_failover_experiment(
+    spec: TopologySpec,
+    algorithm: str = PARALLEL,
+    seed: int = 0,
+    mode: str = "warm",
+    heartbeat_interval: float = DEFAULT_HEARTBEAT,
+    miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+    faults: int = DEFAULT_FAULTS,
+    mean_interval: float = DEFAULT_MEAN_INTERVAL,
+    restart_primary: bool = False,
+    manager: str = "partial",
+    timing: Optional[ProcessingTimeModel] = None,
+    params: FabricParams = DEFAULT_PARAMS,
+    tracer=None,
+    fm_options: Optional[dict] = None,
+) -> FailoverResult:
+    """One failover run: settle, churn, kill the primary, take over.
+
+    With ``restart_primary`` the old primary's host is resurrected
+    after the takeover converges, and the result records whether the
+    ownership-epoch fencing demoted it.
+    """
+    setup, standby = build_failover_pair(
+        spec, algorithm=algorithm, mode=mode,
+        heartbeat_interval=heartbeat_interval,
+        miss_threshold=miss_threshold, manager=manager,
+        timing=timing, params=params, tracer=tracer,
+        fm_options=fm_options,
+    )
+    primary = setup.fm
+    run_until_ready(setup)
+    standby.start()
+
+    # Churn shielded from amputating either manager; FM kinds enabled
+    # but drawn only via the deterministic kill below.
+    injector = FaultInjector(
+        setup.fabric, mean_interval=mean_interval,
+        protect={primary.endpoint.name, standby.fm.endpoint.name},
+        seed=seed, fm=primary, during_discovery=True,
+        poll_interval=mean_interval / 40,
+    )
+
+    def on_fault(event):
+        # Stamp the standby's detection-latency clock at the instant
+        # the primary dies.
+        if event.kind == "kill_fm":
+            standby.note_primary_failure(event.time)
+
+    injector.on_fault = on_fault
+    if faults > 0:
+        done = injector.run(faults=faults)
+        setup.env.run(until=done)
+        run_until_quiescent(setup, raise_on_abort=False)
+        # Let the standby's next periodic sync fold the churned
+        # topology into the mirror before the lights go out.
+        setup.env.run(until=setup.env.now + 2 * standby.sync_interval)
+
+    churn_faults = len(injector.log)
+    injector.kill_fm_now()
+    report = setup.env.run(until=standby.takeover_event)
+
+    # From here the promoted standby *is* the fabric manager.
+    setup.fm = standby.fm
+    run_until_quiescent(setup, raise_on_abort=False)
+
+    if restart_primary:
+        injector.restore_fm_now()
+        # The resurrected region's port-up events reach the new FM (its
+        # takeover reprogrammed the event routes) and the old primary's
+        # own entity wakes it; fencing decides who survives.
+        run_until_quiescent(setup, horizon=MAX_SIM_TIME,
+                            raise_on_abort=False)
+        deadline = setup.env.now + 50e-3
+        while (not primary.demoted and setup.env.now < deadline
+               and setup.env.peek() != float("inf")):
+            setup.env.run(until=setup.env.now + 5e-3)
+        run_until_quiescent(setup, raise_on_abort=False)
+
+    if tracer is not None:
+        tracer.finalize(setup)
+    audit = audit_topology(setup.fabric, standby.fm)
+    detection = report.detection_latency
+    return FailoverResult(
+        topology=spec.name,
+        family=spec.family,
+        algorithm=algorithm,
+        manager=manager,
+        mode=mode,
+        seed=seed,
+        heartbeat_interval=heartbeat_interval,
+        miss_threshold=miss_threshold,
+        faults=churn_faults,
+        takeover_mode=report.mode,
+        missed_heartbeats=report.missed_heartbeats,
+        detection_latency=detection if detection is not None else 0.0,
+        recovery_time=report.recovery_time,
+        repairs=report.repairs,
+        mirror_syncs=standby.mirror_syncs,
+        devices_recovered=report.devices_recovered,
+        converged=database_matches_fabric(setup),
+        audit_ok=audit.ok,
+        audit_differences=len(audit.differences),
+        restart_primary=restart_primary,
+        old_primary_demoted=primary.demoted if restart_primary else None,
+    )
+
+
+def sweep_failover(
+    spec: TopologySpec,
+    modes: Sequence[str] = MODES,
+    seeds: Iterable[int] = (0,),
+    algorithm: str = PARALLEL,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT,
+    miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+    faults: int = DEFAULT_FAULTS,
+    mean_interval: float = DEFAULT_MEAN_INTERVAL,
+    restart_primary: bool = False,
+    manager: str = "partial",
+    timing: Optional[ProcessingTimeModel] = None,
+    workers: int = 1,
+    progress: Union[bool, None] = None,
+) -> List[FailoverResult]:
+    """Cross takeover modes x seeds through the executor."""
+    # Imported late: executor.py imports this module at load time.
+    from .executor import run_many
+    from .io import spec_to_dict
+    from .scenario import Scenario
+
+    spec_doc = spec_to_dict(spec)
+    timing_doc = timing.to_dict() if timing is not None else None
+    jobs = [
+        Scenario(
+            kind="failover", topology=spec_doc, algorithm=algorithm,
+            manager=manager, seed=seed, timing=timing_doc,
+            faults=faults, mean_interval=mean_interval,
+            mode=mode, heartbeat_interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+            restart_primary=restart_primary,
+        ).job()
+        for mode in modes
+        for seed in seeds
+    ]
+    report = run_many(jobs, workers=workers, progress=progress)
+    report.raise_if_failed()
+    return list(report.results)
+
+
+def summarize_failover(results: Sequence[FailoverResult]) -> List[dict]:
+    """Aggregate per requested mode: latency, recovery, safety."""
+    groups: Dict[Tuple[str, str], List[FailoverResult]] = {}
+    for result in results:
+        groups.setdefault((result.mode, result.manager), []).append(result)
+    rows = []
+    for (mode, manager) in sorted(groups):
+        bucket = groups[(mode, manager)]
+        n = len(bucket)
+        rows.append({
+            "mode": mode,
+            "manager": manager,
+            "runs": n,
+            "mean_detection_latency": sum(
+                r.detection_latency for r in bucket
+            ) / n,
+            "mean_recovery_time": sum(
+                r.recovery_time for r in bucket
+            ) / n,
+            "mean_repairs": sum(r.repairs for r in bucket) / n,
+            "cold_fallbacks": sum(
+                1 for r in bucket
+                if r.mode == "warm" and r.takeover_mode == "cold"
+            ),
+            "audit_pass_rate": sum(
+                1 for r in bucket if r.audit_ok
+            ) / n,
+            "all_converged": all(r.converged for r in bucket),
+            "all_fenced": all(
+                r.old_primary_demoted in (True, None) for r in bucket
+            ),
+        })
+    return rows
+
+
+def render_failover(rows: Sequence[dict], title: str = "") -> str:
+    """ASCII table of :func:`summarize_failover` rows."""
+    headers = ("mode", "manager", "runs", "t_detect", "t_recover",
+               "repairs", "cold_fb", "audit", "converged", "fenced")
+    table = render_table(headers, [
+        (
+            row["mode"], row["manager"], row["runs"],
+            row["mean_detection_latency"], row["mean_recovery_time"],
+            row["mean_repairs"], row["cold_fallbacks"],
+            row["audit_pass_rate"], row["all_converged"],
+            row["all_fenced"],
+        )
+        for row in rows
+    ])
+    return f"{title}\n{table}" if title else table

@@ -82,6 +82,11 @@ CHURN_FAULTS = (2, 3, 4, 6)
 CHURN_MEAN_INTERVALS = (1e-3, 2e-3, 5e-3)
 VERIFY_SAMPLES = (1, 3)
 
+#: Failover plan pools (FM-kill scenarios).
+FAILOVER_FAULTS = (0, 2, 3)
+FAILOVER_HEARTBEATS = (0.5e-3, 1e-3, 2e-3)
+FAILOVER_MISS_THRESHOLDS = (2, 3)
+
 
 # -- sampling -----------------------------------------------------------------
 
@@ -151,6 +156,22 @@ def sample_scenario(seed: int, index: int,
         kwargs["mean_interval"] = rng.choice(CHURN_MEAN_INTERVALS)
         if rng.random() < 0.25:
             kwargs["verify_sample"] = rng.choice(VERIFY_SAMPLES)
+    if kind == "failover":
+        # Warm takeover leans on the partial manager's repair bursts;
+        # keep a cold/full tail so both promotion paths stay fuzzed.
+        kwargs["manager"] = rng.choice(("partial", "partial", "full"))
+        kwargs["mode"] = rng.choice(("warm", "warm", "cold"))
+        kwargs["faults"] = rng.choice(FAILOVER_FAULTS)
+        kwargs["mean_interval"] = rng.choice(CHURN_MEAN_INTERVALS)
+        kwargs["heartbeat_interval"] = rng.choice(FAILOVER_HEARTBEATS)
+        if rng.random() < 0.5:
+            kwargs["miss_threshold"] = rng.choice(
+                FAILOVER_MISS_THRESHOLDS
+            )
+        if rng.random() < 0.25:
+            # The dueling-managers case: resurrect the old primary and
+            # demand the ownership fencing demote it.
+            kwargs["restart_primary"] = True
     if rng.random() < 0.35:
         kwargs["timing"] = ProcessingTimeModel(
             fm_factor=rng.choice(FM_FACTORS),
@@ -181,6 +202,19 @@ def classify_result(scenario: Scenario, result) -> Optional[Tuple[str, str]]:
         if not result.audit_ok:
             return ("audit_dirty",
                     f"{result.audit_differences} auditor difference(s)")
+        return None
+    if scenario.kind == "failover":
+        if not result.converged:
+            return ("not_converged",
+                    "post-takeover database does not match reachable "
+                    "ground truth")
+        if not result.audit_ok:
+            return ("audit_dirty",
+                    f"{result.audit_differences} auditor difference(s) "
+                    f"after takeover")
+        if result.old_primary_demoted is False:
+            return ("split_brain",
+                    "resurrected old primary did not demote itself")
         return None
     if not result.database_correct:
         return ("database_incorrect",

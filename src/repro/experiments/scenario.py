@@ -44,7 +44,7 @@ from .runner import (
 )
 
 #: Recognised scenario kinds.
-KINDS = ("discover", "change", "reliability", "churn")
+KINDS = ("discover", "change", "reliability", "churn", "failover")
 
 #: Change kinds of the ``"change"`` scenario.
 CHANGE_KINDS = ("remove_switch", "add_switch")
@@ -109,6 +109,12 @@ class Scenario:
     restart_backoff:
         Churn fault plan and hardening knobs (``None`` = the churn
         module's defaults).
+    mode / heartbeat_interval / miss_threshold / restart_primary:
+        Failover plan for ``kind="failover"``: takeover mode (``None``
+        = ``"warm"``), standby heartbeat tuning, and whether the dead
+        primary is resurrected afterwards (the fencing duel).  The
+        ``faults``/``mean_interval`` knobs double as the pre-kill
+        churn schedule.
     fm_options:
         Extra keyword arguments for the FM constructor (ablation
         switches such as ``arrival_clears_timeout``).
@@ -128,6 +134,10 @@ class Scenario:
     verify_sample: Optional[int] = None
     max_discovery_restarts: Optional[int] = None
     restart_backoff: Optional[float] = None
+    mode: Optional[str] = None
+    heartbeat_interval: Optional[float] = None
+    miss_threshold: Optional[int] = None
+    restart_primary: Optional[bool] = None
     fm_options: Optional[dict] = None
 
     def __post_init__(self):
@@ -151,6 +161,18 @@ class Scenario:
                 f"unknown change kind {self.change!r} "
                 f"(expected one of {CHANGE_KINDS})"
             )
+        if self.mode is not None:
+            from ..manager.failover import MODES
+            if self.mode not in MODES:
+                raise ValueError(
+                    f"unknown takeover mode {self.mode!r} "
+                    f"(expected one of {MODES})"
+                )
+        if (self.heartbeat_interval is not None
+                and self.heartbeat_interval <= 0):
+            raise ValueError("heartbeat interval must be positive")
+        if self.miss_threshold is not None and self.miss_threshold < 1:
+            raise ValueError("miss threshold must be at least 1")
         # Normalize model objects to their portable documents, and
         # validate documents eagerly — a bad field should fail at
         # description time, not inside a sweep worker.
@@ -232,13 +254,21 @@ class Scenario:
 
     def job(self, tag: Any = None):
         """Spawn-safe executor job for this scenario."""
-        from .executor import CHANGE, CHURN, INITIAL, RELIABILITY, Job
+        from .executor import (
+            CHANGE,
+            CHURN,
+            FAILOVER,
+            INITIAL,
+            RELIABILITY,
+            Job,
+        )
         from .io import spec_to_dict
         kind = {
             "discover": INITIAL,
             "change": CHANGE,
             "reliability": RELIABILITY,
             "churn": CHURN,
+            "failover": FAILOVER,
         }[self.kind]
         spec_doc = (
             _normalize_document(self.topology)
@@ -246,7 +276,7 @@ class Scenario:
             else spec_to_dict(self.spec())
         )
         options = None
-        if self.kind == "churn":
+        if self.kind in ("churn", "failover"):
             options = {"manager": self.manager}
         return Job(
             kind=kind, spec=spec_doc, algorithm=self.algorithm,
@@ -265,7 +295,7 @@ class Scenario:
         """
         if job.scenario is not None:
             return cls.from_dict(job.scenario)
-        from .executor import CHANGE, CHURN, INITIAL, RELIABILITY
+        from .executor import CHANGE, CHURN, FAILOVER, INITIAL, RELIABILITY
         options = dict(job.options or {})
         common = dict(
             topology=dict(job.spec), algorithm=job.algorithm,
@@ -291,6 +321,18 @@ class Scenario:
                 max_discovery_restarts=options.get(
                     "max_discovery_restarts"),
                 restart_backoff=options.get("restart_backoff"),
+                **common,
+            )
+        if job.kind == FAILOVER:
+            return cls(
+                kind="failover",
+                manager=options.get("manager", "partial"),
+                faults=options.get("faults"),
+                mean_interval=options.get("mean_interval"),
+                mode=options.get("mode"),
+                heartbeat_interval=options.get("heartbeat_interval"),
+                miss_threshold=options.get("miss_threshold"),
+                restart_primary=options.get("restart_primary"),
                 **common,
             )
         raise ValueError(f"unknown job kind {job.kind!r}")
@@ -401,11 +443,31 @@ def _run_churn(scenario: Scenario, tracer=None):
     )
 
 
+def _run_failover(scenario: Scenario, tracer=None):
+    from .failover import run_failover_experiment
+    kwargs = {}
+    for name in ("faults", "mean_interval", "heartbeat_interval",
+                 "miss_threshold"):
+        value = getattr(scenario, name)
+        if value is not None:
+            kwargs[name] = value
+    return run_failover_experiment(
+        scenario.spec(), algorithm=scenario.algorithm,
+        seed=scenario.seed,
+        mode=scenario.mode or "warm",
+        restart_primary=bool(scenario.restart_primary),
+        manager=scenario.manager,
+        timing=scenario.timing_model(), params=scenario.fabric_params(),
+        tracer=tracer, fm_options=scenario.fm_options, **kwargs,
+    )
+
+
 _RUNNERS = {
     "discover": _run_discover,
     "change": _run_change,
     "reliability": _run_reliability,
     "churn": _run_churn,
+    "failover": _run_failover,
 }
 
 

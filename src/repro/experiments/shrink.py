@@ -125,11 +125,19 @@ def shrink_candidates(scenario: Scenario) -> Iterator[Scenario]:
         for name in _smaller_table1(scenario.topology):
             candidates.append(attempt(topology=name))
 
-    # 2. Drop faults from the churn plan.
-    if scenario.kind == "churn":
-        from .churn import DEFAULT_FAULTS
-        effective = (DEFAULT_FAULTS if scenario.faults is None
+    # 2. Drop faults from the churn (or pre-kill failover) plan.
+    if scenario.kind in ("churn", "failover"):
+        if scenario.kind == "churn":
+            from .churn import DEFAULT_FAULTS
+            default_faults = DEFAULT_FAULTS
+        else:
+            from .failover import DEFAULT_FAULTS as default_faults
+        effective = (default_faults if scenario.faults is None
                      else scenario.faults)
+        if scenario.kind == "failover" and effective >= 1:
+            # A kill with no preceding churn at all is the simplest
+            # failover there is.
+            candidates.append(attempt(faults=0))
         for fewer in (1, effective // 2, effective - 1):
             if 1 <= fewer < effective:
                 candidates.append(attempt(faults=fewer))
@@ -161,7 +169,9 @@ def shrink_candidates(scenario: Scenario) -> Iterator[Scenario]:
                            if k != key}
                 candidates.append(attempt(fm_options=trimmed))
     for knob in ("max_retries", "mean_interval", "verify_sample",
-                 "max_discovery_restarts", "restart_backoff"):
+                 "max_discovery_restarts", "restart_backoff",
+                 "heartbeat_interval", "miss_threshold",
+                 "restart_primary"):
         if getattr(scenario, knob) is not None:
             candidates.append(attempt(**{knob: None}))
 

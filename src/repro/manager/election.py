@@ -20,6 +20,14 @@ a controlled flood, the standard technique for leaderless topologies
 
 Ranking: higher priority wins; equal priorities break toward the
 higher DSN.
+
+Every announcement also carries the round's **ownership epoch** — the
+generation number the winner will stamp into each device's claim
+capability (see :mod:`repro.capability.claim` and the fencing logic in
+:class:`~repro.manager.fm.FabricManager`).  Epochs are strictly
+monotonic across rounds: a manager that wins epoch ``N`` and later
+observes a claim from epoch ``N+1`` knows it lost a newer election and
+must demote itself instead of split-braining the fabric.
 """
 
 from __future__ import annotations
@@ -37,7 +45,10 @@ from ..sim.events import Event
 #: Magic number identifying election announcements among multicasts.
 ELECTION_MAGIC = 0xE1EC
 
-_FMT = struct.Struct(">HBBIIQ")
+_FMT = struct.Struct(">HBBHHIIQ")
+
+#: Announcement format version (2 added the ownership epoch).
+ELECTION_VERSION = 2
 
 
 class ElectionError(RuntimeError):
@@ -51,19 +62,24 @@ class Candidacy:
     priority: int
     dsn: int
     seq: int
+    #: Ownership epoch of the election round (claim-capability
+    #: generation the winner will stamp; 16 bits on the wire).
+    epoch: int = 0
 
     def pack(self) -> bytes:
-        return _FMT.pack(ELECTION_MAGIC, 1, 0, self.priority, self.seq,
+        return _FMT.pack(ELECTION_MAGIC, ELECTION_VERSION, 0,
+                         self.epoch & 0xFFFF, 0, self.priority, self.seq,
                          self.dsn)
 
     @classmethod
     def unpack(cls, payload: bytes) -> "Candidacy":
         if len(payload) < _FMT.size:
             raise ElectionError("election payload too short")
-        magic, version, _rsvd, priority, seq, dsn = _FMT.unpack_from(payload)
+        (magic, version, _rsvd, epoch, _rsvd2, priority, seq,
+         dsn) = _FMT.unpack_from(payload)
         if magic != ELECTION_MAGIC:
             raise ElectionError(f"bad election magic {magic:#x}")
-        return cls(priority=priority, dsn=dsn, seq=seq)
+        return cls(priority=priority, dsn=dsn, seq=seq, epoch=epoch)
 
     @property
     def rank(self) -> Tuple[int, int]:
@@ -97,7 +113,7 @@ class ElectionAgent:
             and getattr(self.device, "fm_capable", False)
         )
 
-    def announce(self) -> None:
+    def announce(self, epoch: int = 0) -> None:
         """Originate this endpoint's candidacy (after the jitter)."""
         if not self.is_candidate:
             raise ElectionError(f"{self.device.name} cannot run for FM")
@@ -105,6 +121,7 @@ class ElectionAgent:
             priority=self.device.fm_priority,
             dsn=self.device.dsn,
             seq=next(self._seq),
+            epoch=epoch,
         )
         self._record(candidacy)
 
@@ -119,7 +136,8 @@ class ElectionAgent:
 
     def _record(self, candidacy: Candidacy) -> None:
         known = self.candidates.get(candidacy.dsn)
-        if known is None or candidacy.seq > known.seq:
+        if known is None or ((candidacy.epoch, candidacy.seq)
+                             > (known.epoch, known.seq)):
             self.candidates[candidacy.dsn] = candidacy
 
     def _on_flood(self, packet, port) -> None:
@@ -156,6 +174,8 @@ class ElectionResult:
     views: Dict[int, Tuple[Optional[int], Optional[int]]] = field(
         default_factory=dict
     )
+    #: Ownership epoch of this round (the winner stamps claims with it).
+    epoch: int = 0
 
 
 class Election:
@@ -164,10 +184,14 @@ class Election:
     def __init__(self, entities: Dict[str, ManagementEntity],
                  settle_time: float = 1e-3,
                  max_jitter: float = 20e-6,
-                 seed: int = 0):
+                 seed: int = 0,
+                 epoch: int = 1):
         if settle_time <= 0:
             raise ValueError("settle time must be positive")
+        if epoch < 1:
+            raise ValueError("election epoch must be at least 1")
         self.settle_time = settle_time
+        self.epoch = epoch
         rng = random.Random(seed)
         self.agents: Dict[str, ElectionAgent] = {}
         env = None
@@ -183,7 +207,7 @@ class Election:
         """Start the round; the returned event yields the result."""
         for agent in self.agents.values():
             if agent.is_candidate:
-                agent.announce()
+                agent.announce(epoch=self.epoch)
         done = self.env.event()
         timer = self.env.timeout(self.settle_time)
         timer.callbacks.append(lambda _ev: done.succeed(self._tally()))
@@ -208,4 +232,5 @@ class Election:
             secondary_dsn=secondary,
             consensus=consensus,
             views=views,
+            epoch=self.epoch,
         )

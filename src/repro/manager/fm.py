@@ -20,15 +20,18 @@ This class implements the management behaviour the paper studies:
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..capability import (
     BASELINE_CAP_ID,
+    CLAIM_CAP_ID,
     EVENT_ROUTE_CAP_ID,
     GENERAL_INFO_DWORDS,
+    ClaimCapability,
     EventRouteCapability,
     decode_general_info,
 )
+from ..capability.registers import get_field
 from ..fabric.endpoint import Endpoint
 from ..fabric.packet import PI_DEVICE_MANAGEMENT, PI_EVENT, Packet
 from ..protocols import pi4, pi5
@@ -71,7 +74,9 @@ class FabricManager:
                  max_discovery_restarts: int = 8,
                  restart_backoff: float = 0.0,
                  verify_sample: int = 0,
-                 verify_seed: int = 0):
+                 verify_seed: int = 0,
+                 epoch: int = 1,
+                 fence_ownership: bool = False):
         if not endpoint.fm_capable:
             raise ValueError(f"{endpoint.name} is not FM capable")
         self.endpoint = endpoint
@@ -116,6 +121,25 @@ class FabricManager:
         #: discovery by itself ("the topology discovery process is
         #: triggered after fabric initialization").
         self._enabled = auto_start
+        #: Ownership epoch (the claim-capability generation this FM
+        #: stamps when fencing is on).  A promoted standby runs at the
+        #: old primary's epoch + 1; see :mod:`repro.manager.election`.
+        self.epoch = epoch
+        #: Split-brain fencing: after every clean full discovery, read
+        #: each device's claim capability and stamp it with this FM's
+        #: epoch.  Observing a *newer* epoch means a later election was
+        #: won by someone else — this FM demotes itself instead of
+        #: reprogramming event routes.  Off by default (fencing costs
+        #: packets and would perturb the paper-faithful measurements).
+        self.fence_ownership = fence_ownership
+        #: Set once this FM fenced itself off (see :meth:`demote`).
+        self.demoted = False
+        #: Passive observers called with every accepted PI-5 event
+        #: (after duplicate suppression, before assimilation).  This is
+        #: the control-plane replication tee a warm standby subscribes
+        #: to; an empty list costs nothing and listeners must not
+        #: schedule simulation events.
+        self.pi5_listeners: List[Callable[[pi5.PortEvent], None]] = []
 
         #: Optional :class:`repro.obs.span.SpanTracer` (see
         #: :meth:`attach_tracer`).  ``None`` keeps every instrumented
@@ -297,6 +321,8 @@ class FabricManager:
                 self.counters.incr("pi5_duplicates")
                 return
             self._event_seqs[event.reporter_dsn] = event.seq
+            for listener in list(self.pi5_listeners):
+                listener(event)
             self._handle_event(event)
             return
         if packet.header.pi != PI_DEVICE_MANAGEMENT:
@@ -342,6 +368,8 @@ class FabricManager:
                 reporter=event.reporter_dsn, port=event.port,
                 up=event.up, seq=event.seq, local=True,
             )
+        for listener in list(self.pi5_listeners):
+            listener(event)
         self._handle_event(event)
 
     def _handle_event(self, event: pi5.PortEvent) -> None:
@@ -444,7 +472,7 @@ class FabricManager:
             return
         else:
             self._restart_streak = 0
-        self._finish_ready(stats)
+        self._fence_then_finish(stats)
 
     def _finish_ready(self, stats: DiscoveryStats) -> None:
         """Program event routes (or trigger ready immediately)."""
@@ -537,7 +565,7 @@ class FabricManager:
         )
         count = min(self.verify_sample, len(candidates))
         if count == 0:
-            self._finish_ready(stats)
+            self._fence_then_finish(stats)
             return
         rng = random.Random((self.verify_seed << 16) ^ len(self.history))
         sample = rng.sample(candidates, count)
@@ -571,11 +599,190 @@ class FabricManager:
                        mismatched: set) -> None:
         if not mismatched:
             self._restart_streak = 0
-            self._finish_ready(stats)
+            self._fence_then_finish(stats)
             return
         self.counters.incr("guard_mismatches", len(mismatched))
         if not self._resolve_inconsistency(mismatched, stats):
+            self._fence_then_finish(stats)
+
+    # -- ownership fencing ----------------------------------------------------
+    def demote(self, stats: Optional[DiscoveryStats] = None,
+               reason: str = "fenced") -> None:
+        """Fence this FM off: it stops acting as a manager for good.
+
+        Called when the FM observes a claim from a newer ownership
+        epoch (it lost an election round it never saw — the classic
+        resurrected-old-primary case) or loses a same-epoch duel to a
+        higher-ranked candidate.  Outstanding transactions are
+        cancelled, further PI-5 events are ignored, and a pending
+        ``ready_event`` is resolved so waiters do not hang.  A demotion
+        mid-discovery abandons the walk.  Idempotent.
+        """
+        if self.demoted:
+            return
+        self.demoted = True
+        self._enabled = False
+        self.counters.incr("fm_demotions")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "demoted", "failover", self.env.now, track="fm",
+                reason=reason, epoch=self.epoch,
+            )
+        self.engine.cancel_all()
+        self._deferred_events.clear()
+        ready = self.ready_event
+        if ready is not None and not ready.triggered:
+            fallback = self.history[-1] if self.history else None
+            ready.succeed(stats if stats is not None else fallback)
+
+    @staticmethod
+    def _decode_claim(data) -> Optional[Tuple[int, int]]:
+        """``(owner_dsn, generation)`` from a claim read, or ``None``."""
+        if len(data) < 3:
+            return None
+        d0, high, low = data[0], data[1], data[2]
+        if not get_field(d0, 31, 1):
+            return None
+        return ((high << 32) | low, get_field(d0, 0, 16))
+
+    def _fence_then_finish(self, stats: DiscoveryStats) -> None:
+        """Run the ownership-fencing pass before declaring ready."""
+        if self.demoted:
+            return
+        if (not self.fence_ownership or stats.aborted
+                or len(self.database) <= 1):
             self._finish_ready(stats)
+            return
+        self._stamp_ownership(stats)
+
+    def _stamp_ownership(self, stats: DiscoveryStats,
+                         attempt: int = 0,
+                         then: Optional[Callable[[DiscoveryStats],
+                                                 None]] = None) -> None:
+        """Serially re-read every device's claim, then stamp our epoch.
+
+        Two phases, on purpose: *all* claims are read before *any* is
+        written, so a resurrected old primary discovers it was deposed
+        (some device carries a newer generation) before it can clobber
+        a single claim of the new primary.  A same-epoch foreign claim
+        is a duel: the election tie-break (higher DSN wins) decides —
+        the loser demotes, the winner advances one epoch (an implicit
+        new election round) and re-stamps, which overwrites the loser's
+        claims everywhere.
+        """
+        finish = then if then is not None else self._finish_ready
+        records = [
+            r for r in self.database.devices() if r.ingress_port is not None
+        ]
+        if not records:
+            finish(stats)
+            return
+        token = object()
+        self._fence_token = token
+        self.counters.incr("fence_passes")
+        observed: Dict[int, Optional[Tuple[int, int]]] = {}
+        state = {"outstanding": len(records)}
+        me = self.endpoint.dsn
+
+        def claim_of(completion) -> Optional[Tuple[int, int]]:
+            ok = (isinstance(completion, pi4.ReadCompletion)
+                  and getattr(completion, "status",
+                              pi4.STATUS_OK) == pi4.STATUS_OK)
+            return self._decode_claim(list(completion.data)) if ok else None
+
+        def on_read(completion, dsn: int) -> None:
+            if self._fence_token is not token or self.demoted:
+                return
+            observed[dsn] = claim_of(completion)
+            state["outstanding"] -= 1
+            if state["outstanding"] == 0:
+                write_phase()
+
+        def write_phase() -> None:
+            override = False
+            for dsn in sorted(observed):
+                claim = observed[dsn]
+                if claim is None:
+                    continue
+                owner, generation = claim
+                if generation > self.epoch or (
+                        generation == self.epoch and owner > me):
+                    self.counters.incr("fence_deposed_observations")
+                    self.demote(stats)
+                    return
+                if generation == self.epoch and owner < me:
+                    override = True
+            if override and attempt < 2:
+                # We outrank the same-epoch claimant: advance an epoch
+                # and re-stamp — the new generation overwrites theirs.
+                self.epoch += 1
+                self.counters.incr("fence_epoch_bumps")
+                self._stamp_ownership(stats, attempt + 1, then=then)
+                return
+            need = [
+                dsn for dsn in sorted(observed)
+                if observed[dsn] != (me, self.epoch)
+            ]
+            if not need:
+                finish(stats)
+                return
+            wstate = {"outstanding": len(need)}
+
+            def settle() -> None:
+                wstate["outstanding"] -= 1
+                if wstate["outstanding"] == 0:
+                    finish(stats)
+
+            def on_conflict_read(completion, dsn: int) -> None:
+                if self._fence_token is not token or self.demoted:
+                    return
+                claim = claim_of(completion)
+                if claim is not None:
+                    owner, generation = claim
+                    if generation > self.epoch or (
+                            generation == self.epoch and owner > me):
+                        self.demote(stats)
+                        return
+                settle()
+
+            def on_write(completion, dsn: int) -> None:
+                if self._fence_token is not token or self.demoted:
+                    return
+                if completion is None:
+                    self.counters.incr("fence_write_failures")
+                elif completion.status == pi4.STATUS_CONFLICT:
+                    # Lost a same-epoch write race: a serial re-read
+                    # tells us to whom, and the tie-break decides.
+                    self.counters.incr("fence_conflicts")
+                    record = self.database.device(dsn)
+                    self.send_request(
+                        pi4.ReadRequest(cap_id=CLAIM_CAP_ID, offset=0,
+                                        tag=0, count=3),
+                        record.route(), record.out_port,
+                        callback=on_conflict_read, ctx=dsn,
+                    )
+                    return
+                else:
+                    self.counters.incr("devices_fenced")
+                settle()
+
+            values = tuple(ClaimCapability.encode(me, self.epoch))
+            for dsn in need:
+                record = self.database.device(dsn)
+                self.send_request(
+                    pi4.WriteRequest(cap_id=CLAIM_CAP_ID, offset=0,
+                                     tag=0, data=values),
+                    record.route(), record.out_port,
+                    callback=on_write, ctx=dsn,
+                )
+
+        for record in records:
+            self.send_request(
+                pi4.ReadRequest(cap_id=CLAIM_CAP_ID, offset=0, tag=0,
+                                count=3),
+                record.route(), record.out_port,
+                callback=on_read, ctx=record.dsn,
+            )
 
     def _program_event_routes(self):
         """Write every device's route back to the FM (PI-4 writes)."""

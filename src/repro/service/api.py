@@ -22,6 +22,11 @@ Mutation verbs
 ``restore_link``  hot topology changes (the API-driven fault plan)
 ``rediscover``    trigger a full rediscovery
 ``audit``         run the consistency auditor, report + feed the result
+``kill_fm``       remove the primary FM's host endpoint (the service
+                  must be running a standby; its heartbeats start
+                  missing and it will eventually promote itself)
+``promote_standby``  promote the standby immediately; the feed emits a
+                  ``failover`` event when the takeover completes
 
 ``subscribe`` / ``unsubscribe`` / ``shutdown`` are connection-level and
 handled by the server, not here.
@@ -272,6 +277,62 @@ def op_rediscover(setup, driver, params) -> dict:
     return {"started": True, "sim_time": setup.env.now}
 
 
+def _standby_for(driver):
+    standby = getattr(driver, "standby", None)
+    if standby is None:
+        raise ApiError(
+            "no-standby",
+            "service was started without a standby FM "
+            "(serve --standby warm|cold)",
+        )
+    return standby
+
+
+def op_kill_fm(setup, driver, params) -> dict:
+    standby = _standby_for(driver)
+    if standby.active:
+        raise ApiError(
+            "bad-mutation", "the standby is already the active FM"
+        )
+    host = setup.fm.endpoint.name
+    try:
+        setup.fabric.remove_device(host)
+    except FabricError as exc:
+        raise ApiError("bad-mutation", str(exc)) from None
+    standby.note_primary_failure(setup.env.now)
+    _feed(driver, {
+        "event": "failover",
+        "phase": "primary_killed",
+        "host": host,
+        "standby": standby.fm.endpoint.name,
+        "mode": standby.mode,
+        "sim_time": setup.env.now,
+    })
+    return {
+        "killed": host,
+        "standby": standby.fm.endpoint.name,
+        "mode": standby.mode,
+        "sim_time": setup.env.now,
+    }
+
+
+def op_promote_standby(setup, driver, params) -> dict:
+    standby = _standby_for(driver)
+    if standby.active:
+        raise ApiError("bad-mutation", "standby already promoted")
+    # The harness wired a takeover_event callback at start-up that
+    # swaps setup.fm and feeds the `takeover_complete` event, so it
+    # fires for heartbeat-triggered promotions too — not just this
+    # verb.
+    standby.promote()
+    return {
+        "promoting": True,
+        "standby": standby.fm.endpoint.name,
+        "mode": standby.mode,
+        "sim_time": setup.env.now,
+    }
+
+
 def op_audit(setup, driver, params) -> dict:
     report = audit_topology(setup.fabric, setup.fm)
     result = report.asdict()
@@ -301,12 +362,14 @@ HANDLERS: Dict[str, Tuple[Callable, bool]] = {
     "restore_link": (op_restore_link, True),
     "rediscover": (op_rediscover, True),
     "audit": (op_audit, True),
+    "kill_fm": (op_kill_fm, True),
+    "promote_standby": (op_promote_standby, True),
 }
 
 #: Ops that mutate the simulation (reported apart in service stats).
 MUTATIONS = frozenset((
     "remove_device", "restore_device", "fail_link", "restore_link",
-    "rediscover",
+    "rediscover", "kill_fm", "promote_standby",
 ))
 
 

@@ -82,6 +82,16 @@ class ServiceClient:
             raise ServiceError(error.get("code", "unknown"),
                                error.get("message", "no message"))
 
+    # -- failover verbs -----------------------------------------------------
+    def kill_fm(self) -> Dict[str, Any]:
+        """Remove the primary FM's host (requires a standby)."""
+        return self.request("kill_fm")
+
+    def promote_standby(self) -> Dict[str, Any]:
+        """Promote the standby FM immediately; the takeover outcome
+        arrives as a ``failover`` feed event."""
+        return self.request("promote_standby")
+
     # -- event feed ---------------------------------------------------------
     def subscribe(self) -> Dict[str, Any]:
         return self.request("subscribe")

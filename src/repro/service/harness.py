@@ -15,7 +15,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from ..experiments.failover import build_failover_pair
 from ..experiments.runner import SimulationSetup, build_simulation
+from ..manager.failover import MODES, StandbyManager
 from ..topology.registry import resolve_topology
 from ..workloads.faults import FaultInjector
 from .client import ServiceClient
@@ -39,6 +41,7 @@ class ServiceHandle:
     service: FabricService
     tap: EventTap
     injector: Optional[FaultInjector] = None
+    standby: Optional[StandbyManager] = None
     _loop: Optional[asyncio.AbstractEventLoop] = None
     _thread: Optional[threading.Thread] = None
     _stopped: bool = field(default=False, repr=False)
@@ -80,21 +83,36 @@ def start_service(
     churn: bool = False,
     mean_interval: float = 2e-3,
     batch: Optional[int] = None,
+    standby: Optional[str] = None,
     **fm_kwargs,
 ) -> ServiceHandle:
     """Build, wire, and start a fabric service; returns its handle.
 
     With ``churn=True`` a :class:`~repro.workloads.faults.FaultInjector`
     keeps disturbing the fabric (FM host protected, effectively
-    unlimited fault budget) so clients query a moving target.  The
-    returned handle's ``port`` is the actual bound port (pass
-    ``port=0`` for an ephemeral one).
+    unlimited fault budget) so clients query a moving target.  With
+    ``standby="warm"`` (or ``"cold"``) a
+    :class:`~repro.manager.failover.StandbyManager` heartbeats the
+    primary from a second endpoint, ready for the ``kill_fm`` /
+    ``promote_standby`` verbs.  The returned handle's ``port`` is the
+    actual bound port (pass ``port=0`` for an ephemeral one).
     """
     spec = resolve_topology(topology)
     tap = EventTap()
-    setup = build_simulation(
-        spec, algorithm=algorithm, manager=manager, **fm_kwargs,
-    )
+    standby_mgr = None
+    if standby is not None:
+        if standby not in MODES:
+            raise ValueError(
+                f"standby must be one of {MODES}, got {standby!r}"
+            )
+        setup, standby_mgr = build_failover_pair(
+            spec, algorithm=algorithm, mode=standby, manager=manager,
+            fm_options=fm_kwargs or None,
+        )
+    else:
+        setup = build_simulation(
+            spec, algorithm=algorithm, manager=manager, **fm_kwargs,
+        )
     # attach_tracer is non-perturbing and retroactively opens the span
     # for the discovery that auto-started at power-up.
     setup.fm.attach_tracer(tap)
@@ -102,16 +120,52 @@ def start_service(
     if churn:
         protect = [spec.fm_host or (spec.endpoints[0]
                                     if spec.endpoints else None)]
+        if standby_mgr is not None:
+            protect.append(standby_mgr.fm.endpoint.name)
         injector = FaultInjector(
             setup.fabric, mean_interval=mean_interval,
             protect=[p for p in protect if p],
             seed=seed, fm=setup.fm,
         )
         injector.run(faults=CHURN_FAULT_BUDGET)
+    if standby_mgr is not None:
+        # Start monitoring only once the primary's initial discovery
+        # has finished: during the walk the fabric is congested enough
+        # that the standby's tight heartbeat timeout misses, and three
+        # early misses would promote it before the service is even up.
+        ready = setup.fm.ready_event
+        if (ready is not None and not ready.triggered
+                and ready.callbacks is not None):
+            ready.callbacks.append(lambda _ev: standby_mgr.start())
+        else:
+            standby_mgr.start()
 
     driver_kwargs = {} if batch is None else {"batch": batch}
     driver = SimulationDriver(setup, injector=injector, **driver_kwargs)
     driver.tap = tap
+    driver.standby = standby_mgr
+    if standby_mgr is not None:
+        # Fires for verb-driven *and* heartbeat-driven promotions:
+        # swap the served FM and publish the outcome on the feed.
+        def _takeover_done(event) -> None:
+            report = event.value
+            setup.fm = standby_mgr.fm
+            standby_mgr.fm.attach_tracer(tap)
+            sink = getattr(driver, "feed", None)
+            if sink is not None:
+                sink({
+                    "event": "failover",
+                    "phase": "takeover_complete",
+                    "fm": standby_mgr.fm.endpoint.name,
+                    "mode": report.mode,
+                    "detection_latency": report.detection_latency,
+                    "recovery_time": report.recovery_time,
+                    "repairs": report.repairs,
+                    "devices_recovered": report.devices_recovered,
+                    "sim_time": setup.env.now,
+                })
+
+        standby_mgr.takeover_event.callbacks.append(_takeover_done)
     service = FabricService(driver, host=host, port=port)
 
     loop = asyncio.new_event_loop()
@@ -139,7 +193,7 @@ def start_service(
     handle = ServiceHandle(
         host=host, port=port, setup=setup, driver=driver,
         service=service, tap=tap, injector=injector,
-        _loop=loop,
+        standby=standby_mgr, _loop=loop,
     )
     driver.start()
     thread = threading.Thread(target=_run_loop, name="service-loop",

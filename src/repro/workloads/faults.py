@@ -16,8 +16,11 @@ from typing import List, Optional, Sequence, Set
 from ..fabric.fabric import Fabric
 from ..sim.events import Event
 
-#: Fault kinds the injector can produce.
-KINDS = ("remove_switch", "restore_switch", "fail_link", "restore_link")
+#: Fault kinds the injector can produce.  The FM kinds join the pool
+#: only when ``allow_fm_kill`` is set (the default injector never
+#: touches the manager, so every pre-existing schedule is unchanged).
+KINDS = ("remove_switch", "restore_switch", "fail_link", "restore_link",
+         "kill_fm", "restart_fm")
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,17 @@ class FaultInjector:
     max_hold:
         Longest a fault is held waiting for a discovery (default:
         ``20 * mean_interval``).
+    allow_fm_kill:
+        Opt-in: add ``kill_fm`` (hot-remove the FM's host endpoint) to
+        the fault pool.  Needs ``fm``.  Off by default so the RNG draw
+        sequence — and therefore every existing seeded schedule and
+        golden — is bit-identical to an injector without the feature.
+    fm_restart_delay:
+        With ``allow_fm_kill``: resurrect a killed FM this many seconds
+        after the kill, deterministically (no RNG draw).  When ``None``,
+        ``restart_fm`` instead joins the random fault pool while the FM
+        is down, so the schedule itself decides if/when the old primary
+        comes back — the dueling-managers case fencing exists for.
     """
 
     def __init__(self, fabric: Fabric, mean_interval: float = 30e-3,
@@ -85,11 +99,17 @@ class FaultInjector:
                  seed: int = 0, fm=None,
                  during_discovery: bool = False,
                  poll_interval: Optional[float] = None,
-                 max_hold: Optional[float] = None):
+                 max_hold: Optional[float] = None,
+                 allow_fm_kill: bool = False,
+                 fm_restart_delay: Optional[float] = None):
         if mean_interval <= 0:
             raise ValueError("mean interval must be positive")
         if during_discovery and fm is None:
             raise ValueError("during_discovery mode needs an fm to observe")
+        if allow_fm_kill and fm is None:
+            raise ValueError("allow_fm_kill needs the fm reference")
+        if fm_restart_delay is not None and fm_restart_delay <= 0:
+            raise ValueError("fm restart delay must be positive")
         self.fabric = fabric
         self.env = fabric.env
         self.mean_interval = mean_interval
@@ -106,6 +126,14 @@ class FaultInjector:
         )
         if self.poll_interval <= 0:
             raise ValueError("poll interval must be positive")
+        self.allow_fm_kill = allow_fm_kill
+        self.fm_restart_delay = fm_restart_delay
+        #: Whether the FM host is currently hot-removed by this injector.
+        self.fm_down = False
+        #: Called with each :class:`FaultEvent` as it lands — the
+        #: failover harness hooks this to stamp the standby's
+        #: detection-latency clock the instant the primary dies.
+        self.on_fault: Optional[callable] = None
         self.log: List[FaultEvent] = []
         #: Faults that fired while the FM was mid-walk.
         self.mid_discovery_faults = 0
@@ -116,6 +144,8 @@ class FaultInjector:
         self._done: Optional[Event] = None
         #: The Timeout the injector loop is currently sleeping on.
         self._wait = None
+        #: Pending auto-restore of a killed FM (``fm_restart_delay``).
+        self._restore_handle = None
 
     @staticmethod
     def _expand_protection(fabric: Fabric,
@@ -193,6 +223,9 @@ class FaultInjector:
             # resources and schedules nothing further.
             self.env.cancel(self._wait)
             self._wait = None
+        if self._restore_handle is not None:
+            self.env.cancel(self._restore_handle)
+            self._restore_handle = None
         if self._done is not None and not self._done.triggered:
             self._done.succeed(list(self.log))
 
@@ -220,6 +253,9 @@ class FaultInjector:
             result.append((a.name, b.name))
         return sorted(result)
 
+    def _fm_host(self) -> str:
+        return self.fm.endpoint.name
+
     def _inject_one(self) -> None:
         actions = []
         if self._eligible_switches():
@@ -230,9 +266,26 @@ class FaultInjector:
             actions.append("fail_link")
         if self._failed_links:
             actions.append("restore_link")
+        # The FM kinds append *after* the baseline four, and only when
+        # opted in — with ``allow_fm_kill`` off, the candidate list (and
+        # therefore the RNG draw sequence) is bit-identical to before
+        # the feature existed.
+        if self.allow_fm_kill:
+            if not self.fm_down:
+                actions.append("kill_fm")
+            elif self.fm_restart_delay is None:
+                # With an automatic restart delay the resurrection is
+                # scheduled deterministically at kill time instead.
+                actions.append("restart_fm")
         if not actions:
             return
         kind = self.rng.choice(actions)
+        if kind == "kill_fm":
+            self.kill_fm_now()
+            return
+        if kind == "restart_fm":
+            self.restore_fm_now()
+            return
         if kind == "remove_switch":
             target = self.rng.choice(self._eligible_switches())
             self.fabric.remove_device(target)
@@ -253,13 +306,69 @@ class FaultInjector:
             )
             self.fabric.restore_link(a, b)
             target = f"{a}<->{b}"
-        mid = self.fm is not None and _fm_busy(self.fm)
+        self._log(kind, target if isinstance(target, str) else str(target))
+
+    def _log(self, kind: str, target: str) -> None:
+        mid = (self.fm is not None and not self.fm_down
+               and _fm_busy(self.fm))
         if mid:
             self.mid_discovery_faults += 1
-        self.log.append(FaultEvent(self.env.now, kind,
-                                   target if isinstance(target, str)
-                                   else str(target),
-                                   mid_discovery=mid))
+        event = FaultEvent(self.env.now, kind, target, mid_discovery=mid)
+        self.log.append(event)
+        if self.on_fault is not None:
+            self.on_fault(event)
+
+    # -- FM faults --------------------------------------------------------------
+    def kill_fm_now(self) -> None:
+        """Hot-remove the FM's host endpoint, deterministically.
+
+        Usable directly (no RNG draw) by harnesses that want the kill
+        at a precise point in the schedule; the random ``kill_fm``
+        fault routes through here too.  With ``fm_restart_delay`` set,
+        the resurrection is scheduled now, at a fixed offset.
+        """
+        if self.fm is None:
+            raise ValueError("no fm to kill")
+        if self.fm_down:
+            return
+        # Mid-walk flag is sampled before the kill lands (the whole
+        # point of killing mid-discovery is that the FM *was* busy).
+        mid = _fm_busy(self.fm)
+        self.fm_down = True
+        self.fabric.remove_device(self._fm_host())
+        if mid:
+            self.mid_discovery_faults += 1
+        event = FaultEvent(self.env.now, "kill_fm", self._fm_host(),
+                           mid_discovery=mid)
+        self.log.append(event)
+        if self.on_fault is not None:
+            self.on_fault(event)
+        if self.fm_restart_delay is not None:
+            self._restore_handle = self.env.schedule_callback(
+                self.fm_restart_delay, lambda _ev: self.restore_fm_now()
+            )
+
+    def restore_fm_now(self) -> None:
+        """Resurrect a killed FM host (the split-brain provocation).
+
+        Power restoration fires the neighbours' port-up events; the old
+        primary's own management entity comes back and — unless it has
+        been demoted by fencing — will start rediscovering as if it
+        still owned the fabric.
+        """
+        if not self.fm_down:
+            return
+        self.fm_down = False
+        self._restore_handle = None
+        self.fabric.restore_device(self._fm_host())
+        # A rebooted manager walks the fabric on startup — it cannot
+        # know it was deposed while dark (its own database still calls
+        # its ports "up", so the resurrection's port events alone look
+        # stale to it).  The walk ends in the ownership-fencing pass,
+        # which is where a fenced fabric makes it demote itself.
+        if not getattr(self.fm, "demoted", False):
+            self.fm.start_discovery(trigger="restart", force=True)
+        self._log("restart_fm", self._fm_host())
 
     # -- introspection ----------------------------------------------------------
     def summary(self) -> dict:

@@ -118,3 +118,19 @@ class TestFuzzCli:
     def test_replay_empty_directory_exits_one(self, capsys, tmp_path):
         assert main(["replay", "--corpus", str(tmp_path)]) == 1
         assert "no corpus entries" in capsys.readouterr().out
+
+
+class TestFailoverCli:
+    def test_failover_both_modes_exits_zero(self, capsys):
+        code = main(["failover", "--topology", "mesh9", "--faults", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FM failover" in out
+        assert "warm" in out and "cold" in out
+
+    def test_failover_single_mode_with_restart(self, capsys):
+        code = main(["failover", "--topology", "mesh9", "--mode", "warm",
+                     "--faults", "0", "--restart-primary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cold" not in out.split("----")[-1]

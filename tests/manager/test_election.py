@@ -6,6 +6,7 @@ from repro.fabric.fabric import Fabric
 from repro.manager.election import (
     Candidacy,
     Election,
+    ElectionAgent,
     ElectionError,
 )
 from repro.protocols import ManagementEntity
@@ -134,6 +135,51 @@ class TestElection:
             Election(entities, settle_time=0)
         with pytest.raises(ElectionError):
             Election({})
+
+
+class TestEpochs:
+    def test_epoch_survives_the_wire(self):
+        c = Candidacy(priority=1, dsn=2, seq=3, epoch=7)
+        assert Candidacy.unpack(c.pack()).epoch == 7
+
+    def test_higher_epoch_supersedes_even_a_lower_seq(self):
+        env, fabric, entities = build(make_mesh(2, 2))
+        agent = ElectionAgent(entities["ep_0_0"])
+        old = Candidacy(priority=1, dsn=42, seq=9, epoch=1)
+        new = Candidacy(priority=1, dsn=42, seq=1, epoch=2)
+        agent._record(old)
+        agent._record(new)
+        assert agent.candidates[42] is new
+        agent._record(old)  # a stale epoch cannot regress the record
+        assert agent.candidates[42] is new
+
+    def test_result_carries_a_monotonic_round_epoch(self):
+        spec = make_mesh(2, 2)
+        env, fabric, entities = build(spec)
+        first = env.run(until=Election(entities, seed=1, epoch=1).run())
+        assert first.consensus
+        assert first.epoch == 1
+        rerun = Election(entities, seed=2, epoch=first.epoch + 1)
+        second = env.run(until=rerun.run())
+        assert second.consensus
+        assert second.epoch == 2
+        # Same candidates, later round: the winner is stable.
+        assert second.primary_dsn == first.primary_dsn
+
+    def test_winner_is_deterministic_across_jitter_seeds(self):
+        outcomes = set()
+        for seed in range(5):
+            env, fabric, entities = build(make_mesh(3, 3))
+            result = env.run(until=Election(entities, seed=seed).run())
+            assert result.consensus
+            outcomes.add((result.primary_dsn, result.secondary_dsn))
+        # Jitter reorders the flood but never the ranking.
+        assert len(outcomes) == 1
+
+    def test_epoch_validation(self):
+        env, fabric, entities = build(make_mesh(2, 2))
+        with pytest.raises(ValueError):
+            Election(entities, epoch=0)
 
 
 class TestPartitionedElection:

@@ -1,0 +1,106 @@
+"""Warm standby mechanics: mirror upkeep, promotion, and fencing.
+
+The experiment-level behaviour (warm beats cold, fencing duel after a
+resurrection) lives in ``tests/experiments/test_failover.py``; these
+tests poke the :class:`~repro.manager.failover.StandbyManager` and the
+FM's ownership fencing directly.
+"""
+
+from repro.experiments.failover import build_failover_pair
+from repro.experiments.runner import run_until_ready
+from repro.topology.registry import resolve_topology
+
+
+def warm_pair(name="mesh9", **kwargs):
+    setup, standby = build_failover_pair(
+        resolve_topology(name), mode="warm", **kwargs,
+    )
+    run_until_ready(setup)
+    standby.start()
+    return setup, standby
+
+
+class TestWarmMirror:
+    def test_mirror_tracks_the_primary_database(self):
+        setup, standby = warm_pair()
+        setup.env.run(until=setup.env.now + 5 * standby.sync_interval)
+        assert standby.mirror_syncs > 0
+        assert len(standby.mirror) == len(setup.fm.database)
+        assert setup.fm.endpoint.dsn in standby.mirror
+
+    def test_pi5_tee_applies_primary_events_to_the_mirror(self):
+        setup, standby = warm_pair()
+        setup.env.run(until=setup.env.now + 2 * standby.sync_interval)
+        # Fail a switch-to-switch link; the primary's PI-5 events are
+        # teed into the mirror before the next full sync runs.
+        link = next(
+            link for link in setup.fabric.links
+            if link.a_port.device.kind == "switch"
+            and link.b_port.device.kind == "switch"
+        )
+        setup.fabric.fail_link(link.a_port.device.name,
+                               link.b_port.device.name)
+        setup.env.run(until=setup.env.now + standby.heartbeat_interval)
+        assert standby.mirror_events > 0
+
+    def test_stop_detaches_the_tee(self):
+        setup, standby = warm_pair()
+        setup.env.run(until=setup.env.now + 2e-3)
+        standby.stop()
+        assert standby._on_primary_event not in setup.fm.pi5_listeners
+        standby.stop()  # idempotent
+
+
+class TestPromotion:
+    def test_promote_is_idempotent(self):
+        setup, standby = warm_pair()
+        setup.env.run(until=setup.env.now + 6e-3)
+        first = standby.promote()
+        second = standby.promote()
+        assert first is second is standby.takeover_event
+        report = setup.env.run(until=first)
+        assert standby.active
+        assert report is standby.report
+
+    def test_late_heartbeat_reply_after_promotion_is_ignored(self):
+        setup, standby = warm_pair()
+        setup.env.run(until=setup.env.now + 6e-3)
+        standby.promote()
+        setup.env.run(until=standby.takeover_event)
+        sent = standby.heartbeats_sent
+        misses = standby.misses
+        # Drain well past several would-be heartbeat intervals: the
+        # monitor is parked, so neither counter may move again.
+        setup.env.run(until=setup.env.now
+                      + 10 * standby.heartbeat_interval)
+        assert standby.heartbeats_sent == sent
+        assert standby.misses == misses
+
+
+class TestFencing:
+    def test_loser_demotes_in_a_two_manager_duel(self):
+        # Promote the standby while the primary is still alive: the
+        # takeover stamps every claim with epoch 2.  When the old
+        # primary next walks the fabric, its fencing pass observes the
+        # newer generation and demotes it — the split-brain guard.
+        setup, standby = warm_pair()
+        setup.env.run(until=setup.env.now + 6e-3)
+        setup.env.run(until=standby.promote())
+        assert standby.active
+        assert standby.fm.epoch > setup.fm.epoch
+        primary = setup.fm
+        primary.start_discovery(trigger="change", force=True)
+        deadline = setup.env.now + 50e-3
+        while not primary.demoted and setup.env.now < deadline:
+            setup.env.run(until=setup.env.now + 1e-3)
+        assert primary.demoted
+        assert not standby.fm.demoted
+        assert primary.counters.asdict()["fm_demotions"] == 1
+
+    def test_demote_is_idempotent(self):
+        setup, standby = warm_pair()
+        fm = setup.fm
+        fm.demote(reason="test")
+        assert fm.demoted
+        fm.demote(reason="again")
+        assert fm.counters.asdict()["fm_demotions"] == 1

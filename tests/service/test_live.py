@@ -149,3 +149,62 @@ class TestShutdown:
         summary = handle.stop()
         assert handle.stop() == summary
         assert not handle.driver.running
+
+
+class TestFailoverVerbs:
+    def test_verbs_require_a_standby(self):
+        with start_service("mesh9") as handle:
+            with handle.client() as client:
+                with pytest.raises(ServiceError) as err:
+                    client.kill_fm()
+                assert err.value.code == "no-standby"
+                with pytest.raises(ServiceError) as err:
+                    client.promote_standby()
+                assert err.value.code == "no-standby"
+
+    def test_kill_fm_triggers_takeover_and_streams_the_outcome(self):
+        with start_service("mesh16", manager="partial",
+                           standby="warm") as handle:
+            with handle.client() as client:
+                client.subscribe()
+                _wait_for(client, lambda s: s["ready"])
+                out = client.kill_fm()
+                assert out["killed"]
+                assert out["mode"] == "warm"
+                event = client.next_event(timeout=60)
+                while not (event.get("event") == "failover"
+                           and event.get("phase") == "takeover_complete"):
+                    event = client.next_event(timeout=60)
+                assert event["fm"] == out["standby"]
+                assert event["recovery_time"] > 0
+                # The served FM is now the promoted standby; the fabric
+                # it sees (minus the dead primary host) audits clean.
+                status = _wait_for(
+                    client, lambda s: s["ready"] and not s["is_discovering"]
+                )
+                assert status["devices_known"] > 0
+                audit = client.request("audit")
+                assert audit["ok"]
+                # A second kill/promote is rejected: the standby is
+                # already the active manager.
+                with pytest.raises(ServiceError) as err:
+                    client.promote_standby()
+                assert err.value.code == "bad-mutation"
+                with pytest.raises(ServiceError) as err:
+                    client.kill_fm()
+                assert err.value.code == "bad-mutation"
+
+    def test_explicit_promote_without_a_kill(self):
+        with start_service("mesh9", manager="partial",
+                           standby="cold") as handle:
+            with handle.client() as client:
+                client.subscribe()
+                _wait_for(client, lambda s: s["ready"])
+                out = client.promote_standby()
+                assert out["promoting"] is True
+                event = client.next_event(timeout=60)
+                while not (event.get("event") == "failover"
+                           and event.get("phase") == "takeover_complete"):
+                    event = client.next_event(timeout=60)
+                assert event["mode"] == "cold"
+                _wait_for(client, lambda s: s["ready"])
