@@ -31,7 +31,7 @@ def _measure(spec, load):
         generator.start()
     setup.fm.start_discovery()
     stats = run_until_ready(setup)
-    injected = generator.stats["packets_injected"] if generator else 0
+    injected = generator.counters["packets_injected"] if generator else 0
     return stats.discovery_time, injected
 
 

@@ -76,8 +76,8 @@ def main() -> None:
     print(f"{spec.name}: discovered {initial.devices_found} devices in "
           f"{initial.discovery_time * 1e3:.3f} ms under "
           f"{traffic.load:.0%} application load")
-    print(f"  app packets so far: {traffic.stats['packets_injected']} "
-          f"injected / {traffic.stats['packets_delivered']} delivered")
+    print(f"  app packets so far: {traffic.counters['packets_injected']} "
+          f"injected / {traffic.counters['packets_delivered']} delivered")
 
     # Fail the primary core link; the redundant one keeps the fabric
     # connected, so partial assimilation just drops one edge.

@@ -34,7 +34,6 @@ from .experiments import (
     change_job,
     database_matches_fabric,
     initial_job,
-    run_change_experiment,
     run_many,
     run_sweep,
     run_until_discovery_count,
@@ -67,8 +66,9 @@ from .topology import (
     table1_suite,
     table1_topology,
 )
+from .workloads.base import Workload, WorkloadSet
 from .workloads.faults import FaultInjector
-from .workloads.traffic import TrafficGenerator
+from .workloads.traffic import TrafficGenerator, TrafficSpec
 
 __version__ = "1.0.0"
 
@@ -99,6 +99,9 @@ __all__ = [
     "TABLE1_NAMES",
     "TopologySpec",
     "TrafficGenerator",
+    "TrafficSpec",
+    "Workload",
+    "WorkloadSet",
     "build_simulation",
     "change_job",
     "database_matches_fabric",
@@ -107,7 +110,6 @@ __all__ = [
     "make_irregular",
     "make_mesh",
     "make_torus",
-    "run_change_experiment",
     "run_many",
     "run_sweep",
     "run_until_discovery_count",

@@ -23,6 +23,12 @@ Commands
     standby: cold rediscovery vs warm mirror takeover, detection and
     recovery latency, and (with ``--restart-primary``) the ownership-
     epoch fencing duel with the resurrected old primary.
+``load``
+    Run the change-assimilation protocol while application traffic
+    saturates the fabric, sweeping offered load x TC->VC mapping
+    (strict-priority bypass vs mixed), and report discovery-time and
+    PI-5 detection-latency inflation vs the idle baseline.  Exit code
+    is non-zero unless every run's database matches ground truth.
 ``trace``
     Run one traced scenario and export its span/packet timeline as a
     Chrome-trace JSON (load it in ``chrome://tracing`` or Perfetto),
@@ -46,10 +52,9 @@ Commands
 ``list``
     List the available topologies, aliases, algorithms, and managers.
 
-``serve``, ``churn``, ``failover``, and ``fuzz`` may run for a long
-time; Ctrl-C
-stops them gracefully (injectors cancelled, one-line summary, exit
-code 130).
+``serve``, ``churn``, ``failover``, ``load``, and ``fuzz`` may run for
+a long time; Ctrl-C stops them gracefully (injectors cancelled,
+one-line summary, exit code 130).
 
 Flags are uniform across the experiment commands: ``--topology``
 accepts Table 1 names or shell-friendly aliases (``mesh16``),
@@ -89,6 +94,13 @@ from .experiments.failover import (
     render_failover,
     summarize_failover,
     sweep_failover,
+)
+from .experiments.load import (
+    DEFAULT_LOADS,
+    TC_MAPPINGS,
+    render_load,
+    summarize_load,
+    sweep_load,
 )
 from .experiments.reliability import (
     DEFAULT_BIT_ERROR_RATES,
@@ -294,6 +306,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--restart-primary", action="store_true",
         help="resurrect the old primary after takeover and verify "
              "the ownership-epoch fence demotes it")
+
+    load = sub.add_parser(
+        "load", help="discovery-under-traffic sweep",
+        parents=[_topology_parent("4x4 mesh"), _algorithms_parent(),
+                 _manager_parent(), _sweep_parent(), _trace_parent(),
+                 _profile_parent()],
+    )
+    load.add_argument("--load", action="append", type=float,
+                      default=None, dest="loads", metavar="FRACTION",
+                      help="offered load per endpoint to sweep, in "
+                           "[0, 1] (repeatable; default: %s; keep 0 in "
+                           "the list — it is the inflation baseline)"
+                           % ", ".join(f"{x:g}" for x in DEFAULT_LOADS))
+    load.add_argument("--mapping", action="append", default=None,
+                      dest="mappings", choices=sorted(TC_MAPPINGS),
+                      help="TC->VC mapping to sweep: bvc = management "
+                           "on the strict-priority bypass VC, mixed = "
+                           "everything on one VC (repeatable; default "
+                           "both)")
+    load.add_argument("--arrival", default="poisson",
+                      choices=("poisson", "bursty", "constant"),
+                      help="traffic arrival process (default poisson)")
+    load.add_argument("--pattern", default="uniform",
+                      choices=("uniform", "permutation", "hotspot"),
+                      help="destination pattern (default uniform)")
 
     trace = sub.add_parser(
         "trace", help="run one traced scenario, export its timeline",
@@ -668,6 +705,48 @@ def _cmd_failover(args) -> int:
     return 0 if safe else 1
 
 
+def _cmd_load(args) -> int:
+    from .topology.registry import resolve_topology
+    manager, _ = resolve_variant(args.manager, PARALLEL)
+    spec = resolve_topology(args.topology)
+    algorithms = args.algorithms or [PARALLEL]
+    if args.manager in ALGORITHMS:
+        algorithms = [args.manager]
+    loads = tuple(args.loads) if args.loads is not None else DEFAULT_LOADS
+    mappings = (tuple(args.mappings) if args.mappings is not None
+                else ("bvc", "mixed"))
+    seeds = range(args.seed, args.seed + max(1, args.seeds))
+    results = sweep_load(
+        spec, loads=loads, mappings=mappings, algorithms=algorithms,
+        seeds=seeds, arrival=args.arrival, pattern=args.pattern,
+        workers=args.jobs,
+    )
+    rows = summarize_load(results)
+    print(render_load(
+        rows, title=f"Discovery under load on {spec.name} "
+                    f"({len(results)} runs, {args.arrival}/"
+                    f"{args.pattern} traffic)",
+    ))
+    if args.trace:
+        from dataclasses import replace as _replace
+        from .fabric.params import DEFAULT_PARAMS
+        from .workloads.traffic import TrafficSpec
+        peak = max(loads)
+        traffic = (TrafficSpec(load=peak, arrival=args.arrival,
+                               pattern=args.pattern).to_dict()
+                   if peak > 0 else None)
+        params = _replace(DEFAULT_PARAMS,
+                          tc_vc_map=TC_MAPPINGS[mappings[0]])
+        code = _export_trace(
+            _representative(args, "load", algorithms[0],
+                            traffic=traffic, params=params.to_dict()),
+            args.trace,
+        )
+        if code != 0:
+            return code
+    return 0 if all(r.database_correct for r in results) else 1
+
+
 def _parse_inject(pairs: Optional[List[str]]) -> Optional[dict]:
     """``--inject KEY=VALUE`` flags as an FM-options dict.
 
@@ -822,7 +901,7 @@ def _cmd_topology(args) -> int:
 
 #: Long-running commands where Ctrl-C means "stop gracefully": the
 #: handler (or this wrapper) prints a one-line summary and exits 130.
-INTERRUPTIBLE = frozenset({"serve", "churn", "failover", "fuzz"})
+INTERRUPTIBLE = frozenset({"serve", "churn", "failover", "fuzz", "load"})
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -835,6 +914,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "change": _cmd_change,
         "churn": _cmd_churn,
         "failover": _cmd_failover,
+        "load": _cmd_load,
         "figure": _cmd_figure,
         "reliability": _cmd_reliability,
         "trace": _cmd_trace,

@@ -28,7 +28,6 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
-from ..fabric.params import FabricParams
 from ..manager.timing import ProcessingTimeModel
 from ..topology.spec import TopologySpec
 from .io import spec_to_dict
@@ -39,6 +38,7 @@ INITIAL = "initial"
 RELIABILITY = "reliability"
 CHURN = "churn"
 FAILOVER = "failover"
+LOAD = "load"
 
 #: Start methods tried for the worker pool, cheapest first.
 _START_METHODS = ("fork", "spawn", "forkserver")
@@ -117,6 +117,13 @@ class Job:
             mode = (self.scenario or {}).get("mode") or "warm"
             parts.append(f"mode={mode}")
             parts.append(f"seed={self.seed}")
+        elif self.kind == LOAD:
+            traffic = (self.scenario or {}).get("traffic") or {}
+            parts.append(f"load={traffic.get('load', 0):g}")
+            mapping = (self.params or {}).get("tc_vc_map")
+            if mapping is not None and len(set(mapping)) == 1:
+                parts.append("mapping=mixed")
+            parts.append(f"seed={self.seed}")
         return " ".join(parts)
 
 
@@ -163,73 +170,6 @@ def initial_job(
     options = {"manager": manager} if manager != "full" else None
     return Job(kind=INITIAL, spec=_spec_document(spec), algorithm=algorithm,
                timing=_timing_document(timing), options=options, tag=tag)
-
-
-def reliability_job(
-    spec: Union[TopologySpec, dict],
-    algorithm: str,
-    params: Union[FabricParams, dict],
-    seed: int = 0,
-    timing: Union[ProcessingTimeModel, dict, None] = None,
-    max_retries: Optional[int] = None,
-    tag: Any = None,
-) -> Job:
-    """Deprecated shim: describe one lossy-channel discovery run.
-
-    Build ``Scenario(kind="reliability", ...)`` and call
-    ``Scenario.job()`` (or ``Scenario.run()`` directly) instead.
-    """
-    import warnings
-    warnings.warn(
-        "reliability_job is deprecated; build a "
-        "Scenario(kind='reliability', ...) and call Scenario.job() "
-        "or Scenario.run() instead",
-        DeprecationWarning, stacklevel=2,
-    )
-    from .scenario import Scenario
-    if isinstance(params, FabricParams):
-        params = params.to_dict()
-    return Scenario(
-        kind="reliability", topology=_spec_document(spec),
-        algorithm=algorithm, seed=seed,
-        timing=_timing_document(timing), params=dict(params),
-        max_retries=max_retries,
-    ).job(tag=tag)
-
-
-def churn_job(
-    spec: Union[TopologySpec, dict],
-    algorithm: str,
-    seed: int = 0,
-    faults: Optional[int] = None,
-    mean_interval: Optional[float] = None,
-    manager: str = "full",
-    timing: Union[ProcessingTimeModel, dict, None] = None,
-    verify_sample: Optional[int] = None,
-    max_discovery_restarts: Optional[int] = None,
-    restart_backoff: Optional[float] = None,
-    tag: Any = None,
-) -> Job:
-    """Deprecated shim: describe one mid-discovery churn soak run.
-
-    Build ``Scenario(kind="churn", ...)`` and call ``Scenario.job()``
-    (or ``Scenario.run()`` directly) instead.
-    """
-    import warnings
-    warnings.warn(
-        "churn_job is deprecated; build a Scenario(kind='churn', ...) "
-        "and call Scenario.job() or Scenario.run() instead",
-        DeprecationWarning, stacklevel=2,
-    )
-    from .scenario import Scenario
-    return Scenario(
-        kind="churn", topology=_spec_document(spec),
-        algorithm=algorithm, manager=manager, seed=seed,
-        timing=_timing_document(timing), faults=faults,
-        mean_interval=mean_interval, verify_sample=verify_sample,
-        max_discovery_restarts=max_discovery_restarts,
-        restart_backoff=restart_backoff,
-    ).job(tag=tag)
 
 
 # -- outcomes -----------------------------------------------------------------

@@ -87,6 +87,12 @@ FAILOVER_FAULTS = (0, 2, 3)
 FAILOVER_HEARTBEATS = (0.5e-3, 1e-3, 2e-3)
 FAILOVER_MISS_THRESHOLDS = (2, 3)
 
+#: Traffic pools for ``load`` scenarios.  Packet sizes stay well under
+#: the receive-buffer credit capacity (a wire packet must fit the far
+#: side's whole input buffer or ``send`` rejects it).
+LOAD_LEVELS = (0.3, 0.6, 0.9)
+LOAD_PACKET_BYTES = (64, 256, 512)
+
 
 # -- sampling -----------------------------------------------------------------
 
@@ -156,6 +162,21 @@ def sample_scenario(seed: int, index: int,
         kwargs["mean_interval"] = rng.choice(CHURN_MEAN_INTERVALS)
         if rng.random() < 0.25:
             kwargs["verify_sample"] = rng.choice(VERIFY_SAMPLES)
+    if kind == "load":
+        from ..workloads.traffic import ARRIVALS, PATTERNS, TrafficSpec
+        from .load import TC_MAPPINGS
+        kwargs["traffic"] = TrafficSpec(
+            load=rng.choice(LOAD_LEVELS),
+            packet_bytes=rng.choice(LOAD_PACKET_BYTES),
+            arrival=rng.choice(ARRIVALS),
+            pattern=rng.choice(PATTERNS),
+        ).to_dict()
+        if rng.random() < 0.5:
+            # Half the draws force management onto the application VC,
+            # fuzzing discovery without the strict-priority bypass.
+            kwargs["params"] = {
+                "tc_vc_map": list(TC_MAPPINGS["mixed"]),
+            }
     if kind == "failover":
         # Warm takeover leans on the partial manager's repair bursts;
         # keep a cold/full tail so both promotion paths stay fuzzed.

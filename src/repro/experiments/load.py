@@ -1,0 +1,357 @@
+"""Load sweep: discovery and change detection under application traffic.
+
+The paper's results were "obtained without considering application
+traffic into the network", on the claim that the management packets'
+higher priority makes load irrelevant (section 4.1).  This experiment
+family tests the claim: it runs the paper's change-assimilation
+protocol (settle, remove a switch, measure detection and rediscovery)
+while a :class:`~repro.workloads.traffic.TrafficGenerator` keeps every
+endpoint injecting application traffic, and compares against the idle
+baseline of the *same seed* — so the victim switch, the walk order,
+and every management decision are identical and the only variable is
+the traffic.
+
+The sweep crosses offered load with the TC→VC mapping:
+
+* ``"bvc"`` — the ASI arrangement the paper assumes: application TCs
+  ride VC0, the management TC rides the strict-priority bypass VC1;
+* ``"mixed"`` — every TC on VC0, so management packets queue behind
+  application packets (what happens on a fabric without bypass VCs).
+
+Measured per run: initial discovery time, PI-5 change-detection
+latency (fault to first accepted PI-5 event at the FM), assimilation
+time, delivered application throughput, and whether the final
+database still matches ground truth.  A load-0 run draws no RNG and
+schedules no traffic processes, so it is bit-identical to the plain
+``change`` scenario — the golden tests hold it to that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..fabric.params import DEFAULT_PARAMS, FabricParams
+from ..manager.timing import PARALLEL, ProcessingTimeModel
+from ..topology.spec import TopologySpec
+from ..workloads.traffic import TrafficGenerator, TrafficSpec
+from .report import render_table
+from .runner import (
+    _removable_switches,
+    build_simulation,
+    database_matches_fabric,
+    run_until_discovery_count,
+    run_until_ready,
+)
+
+#: The two TC→VC mappings the sweep compares.  ``bvc`` is the fabric
+#: default (management bypasses application traffic on VC1); ``mixed``
+#: forces every traffic class onto one VC so management contends.
+TC_MAPPINGS: Dict[str, Tuple[int, ...]] = {
+    "bvc": (0, 0, 0, 0, 1, 1, 1, 1),
+    "mixed": (0, 0, 0, 0, 0, 0, 0, 0),
+}
+
+#: Offered loads swept by default (0 is the baseline the inflation
+#: factors are computed against).
+DEFAULT_LOADS: Tuple[float, ...] = (0.0, 0.3, 0.6, 0.9)
+
+
+def mapping_label(params: FabricParams) -> str:
+    """Name ``params``'s TC→VC mapping (``bvc``/``mixed``/``custom``)."""
+    mapping = tuple(params.tc_vc_map)
+    for label, candidate in TC_MAPPINGS.items():
+        if mapping == candidate:
+            return label
+    return "custom"
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one change-assimilation run under traffic."""
+
+    topology: str
+    family: str
+    algorithm: str
+    seed: int
+    offered_load: float
+    mapping: str
+    arrival: str
+    pattern: str
+    change: str
+    changed_device: str
+    #: Initial discovery time, with the traffic already flowing.
+    discovery_time: float
+    #: Fault to the first accepted PI-5 event at the FM (``None`` if
+    #: the change produced no PI-5 — it always should).
+    detection_latency: Optional[float]
+    #: Duration of the change-assimilation discovery.
+    assimilation_time: float
+    packets_injected: int
+    packets_delivered: int
+    #: Delivered application goodput over the whole run (bytes/s of
+    #: payload; 0 for the idle baseline).
+    delivered_bytes_per_s: float
+    #: Mean source-to-sink delivery latency of application packets.
+    mean_delivery_latency: Optional[float]
+    database_correct: bool
+
+    def asdict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "family": self.family,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "offered_load": self.offered_load,
+            "mapping": self.mapping,
+            "arrival": self.arrival,
+            "pattern": self.pattern,
+            "change": self.change,
+            "changed_device": self.changed_device,
+            "discovery_time": self.discovery_time,
+            "detection_latency": self.detection_latency,
+            "assimilation_time": self.assimilation_time,
+            "packets_injected": self.packets_injected,
+            "packets_delivered": self.packets_delivered,
+            "delivered_bytes_per_s": self.delivered_bytes_per_s,
+            "mean_delivery_latency": self.mean_delivery_latency,
+            "database_correct": self.database_correct,
+        }
+
+
+def run_load_experiment(
+    spec: TopologySpec,
+    algorithm: str = PARALLEL,
+    traffic: Optional[TrafficSpec] = None,
+    seed: int = 0,
+    manager: str = "full",
+    timing: Optional[ProcessingTimeModel] = None,
+    params: FabricParams = DEFAULT_PARAMS,
+    change: Optional[str] = None,
+    tracer=None,
+    fm_options: Optional[dict] = None,
+) -> LoadResult:
+    """The paper's change protocol, with application traffic flowing.
+
+    The control flow — and, critically, the RNG draw order — mirrors
+    the plain ``change`` scenario exactly: the victim switch is drawn
+    from the same ``random.Random(seed)`` stream before the traffic
+    generator (seeded separately, also from ``seed``) touches any
+    randomness.  With ``traffic`` absent or at load 0 the run is
+    event-for-event identical to ``Scenario(kind="change").run()``.
+    """
+    change = change or "remove_switch"
+    rng = random.Random(seed)
+    setup = build_simulation(
+        spec, algorithm=algorithm, timing=timing, params=params,
+        manager=manager, tracer=tracer, **dict(fm_options or {}),
+    )
+    candidates = _removable_switches(setup)
+    if not candidates:
+        raise ValueError(f"{spec.name}: no switch eligible for the change")
+    victim = rng.choice(candidates)
+    if change == "add_switch":
+        setup.fabric.remove_device(victim)
+
+    generator = None
+    if traffic is not None and traffic.enabled:
+        generator = TrafficGenerator(setup.fabric, traffic, seed=seed)
+        generator.attach_sinks(setup.entities)
+        generator.start()
+
+    # PI-5 arrival times at the FM, for the detection-latency clock.
+    # A listener is a pure callback: it cannot perturb the simulation.
+    pi5_times: List[float] = []
+    setup.fm.pi5_listeners.append(
+        lambda event: pi5_times.append(setup.env.now)
+    )
+
+    # Transient period: initial discovery + event-route programming,
+    # with the traffic (if any) already contending for the links.
+    initial = run_until_ready(setup)
+
+    fault_time = setup.env.now
+    pi5_times.clear()
+    if change == "remove_switch":
+        setup.fabric.remove_device(victim)
+    else:
+        setup.fabric.restore_device(victim)
+
+    assimilation = run_until_discovery_count(setup, 2)
+    setup.env.run(until=setup.fm.ready_event)
+    if generator is not None:
+        generator.stop()
+    if tracer is not None:
+        tracer.finalize(setup)
+
+    detection = pi5_times[0] - fault_time if pi5_times else None
+    traffic_stats = generator.stats() if generator is not None else {}
+    delivered = traffic_stats.get("packets_delivered", 0)
+    latency = None
+    if delivered:
+        latency = (
+            traffic_stats.get("latency_ns_total", 0) / delivered / 1e9
+        )
+    return LoadResult(
+        topology=spec.name,
+        family=spec.family,
+        algorithm=algorithm,
+        seed=seed,
+        offered_load=traffic.load if traffic is not None else 0.0,
+        mapping=mapping_label(params),
+        arrival=traffic.arrival if traffic is not None else "poisson",
+        pattern=traffic.pattern if traffic is not None else "uniform",
+        change=change,
+        changed_device=victim,
+        discovery_time=initial.discovery_time,
+        detection_latency=detection,
+        assimilation_time=assimilation.discovery_time,
+        packets_injected=traffic_stats.get("packets_injected", 0),
+        packets_delivered=delivered,
+        delivered_bytes_per_s=traffic_stats.get(
+            "delivered_bytes_per_s", 0.0),
+        mean_delivery_latency=latency,
+        database_correct=database_matches_fabric(setup),
+    )
+
+
+def sweep_load(
+    spec: TopologySpec,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    mappings: Sequence[str] = ("bvc", "mixed"),
+    algorithms: Sequence[str] = (PARALLEL,),
+    seeds: Iterable[int] = (0,),
+    arrival: str = "poisson",
+    pattern: str = "uniform",
+    base_params: FabricParams = DEFAULT_PARAMS,
+    timing: Optional[ProcessingTimeModel] = None,
+    workers: int = 1,
+    progress: Union[bool, None] = None,
+) -> List[LoadResult]:
+    """Cross mappings x loads x algorithms x seeds via the executor.
+
+    Results come back in job-submission order (mapping-major, then
+    load, then algorithm, then seed) — identical to a serial sweep.
+    Always include load 0 in ``loads``: it is the baseline the
+    inflation factors in :func:`summarize_load` divide by.
+    """
+    # Imported late: executor.py imports this module at load time.
+    from .executor import run_many
+    from .io import spec_to_dict
+    from .scenario import Scenario
+
+    spec_doc = spec_to_dict(spec)
+    timing_doc = timing.to_dict() if timing is not None else None
+    jobs = []
+    for mapping in mappings:
+        if mapping not in TC_MAPPINGS:
+            raise ValueError(
+                f"unknown TC mapping {mapping!r} "
+                f"(expected one of {tuple(TC_MAPPINGS)})"
+            )
+        params_doc = replace(
+            base_params, tc_vc_map=TC_MAPPINGS[mapping]
+        ).to_dict()
+        for load in loads:
+            traffic_doc = None
+            if load > 0:
+                traffic_doc = TrafficSpec(
+                    load=load, arrival=arrival, pattern=pattern,
+                ).to_dict()
+            for algorithm in algorithms:
+                for seed in seeds:
+                    jobs.append(Scenario(
+                        kind="load", topology=spec_doc,
+                        algorithm=algorithm, seed=seed,
+                        timing=timing_doc, params=params_doc,
+                        traffic=traffic_doc,
+                    ).job())
+    report = run_many(jobs, workers=workers, progress=progress)
+    report.raise_if_failed()
+    return list(report.results)
+
+
+def summarize_load(results: Sequence[LoadResult]) -> List[dict]:
+    """Inflation vs the idle baseline per (mapping, algorithm, load).
+
+    Each row's ``discovery_inflation`` / ``detection_inflation`` is
+    the mean over that bucket divided by the same (mapping, algorithm)
+    bucket at load 0 (``None`` when no baseline was swept).
+    """
+    groups: Dict[Tuple[str, str, float], List[LoadResult]] = {}
+    for result in results:
+        groups.setdefault(
+            (result.mapping, result.algorithm, result.offered_load), []
+        ).append(result)
+
+    def mean(values: List[Optional[float]]) -> Optional[float]:
+        present = [v for v in values if v is not None]
+        return sum(present) / len(present) if present else None
+
+    baselines: Dict[Tuple[str, str], Tuple] = {}
+    for (mapping, algorithm, load), bucket in groups.items():
+        if load == 0:
+            baselines[(mapping, algorithm)] = (
+                mean([r.discovery_time for r in bucket]),
+                mean([r.detection_latency for r in bucket]),
+            )
+
+    rows = []
+    for (mapping, algorithm, load) in sorted(groups):
+        bucket = groups[(mapping, algorithm, load)]
+        t_disc = mean([r.discovery_time for r in bucket])
+        t_detect = mean([r.detection_latency for r in bucket])
+        base = baselines.get((mapping, algorithm))
+
+        def inflate(value, baseline):
+            if value is None or not baseline:
+                return None
+            return value / baseline
+
+        rows.append({
+            "mapping": mapping,
+            "algorithm": algorithm,
+            "offered_load": load,
+            "runs": len(bucket),
+            "mean_discovery_time": t_disc,
+            "discovery_inflation": (
+                inflate(t_disc, base[0]) if base else None
+            ),
+            "mean_detection_latency": t_detect,
+            "detection_inflation": (
+                inflate(t_detect, base[1]) if base else None
+            ),
+            "mean_delivered_bytes_per_s": mean(
+                [r.delivered_bytes_per_s for r in bucket]
+            ),
+            "all_correct": all(r.database_correct for r in bucket),
+        })
+    return rows
+
+
+def _fmt(value, precision=3, suffix="") -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{precision}g}{suffix}"
+
+
+def render_load(rows: Sequence[dict], title: str = "") -> str:
+    """ASCII table of :func:`summarize_load` rows."""
+    headers = ("mapping", "algorithm", "load", "runs", "mean t_disc",
+               "t_disc infl", "mean t_detect", "t_detect infl",
+               "goodput B/s", "correct")
+    table = render_table(headers, [
+        (
+            row["mapping"], row["algorithm"],
+            f"{row['offered_load']:.0%}", row["runs"],
+            _fmt(row["mean_discovery_time"], 4),
+            _fmt(row["discovery_inflation"], 3, "x"),
+            _fmt(row["mean_detection_latency"], 4),
+            _fmt(row["detection_inflation"], 3, "x"),
+            _fmt(row["mean_delivered_bytes_per_s"], 4),
+            row["all_correct"],
+        )
+        for row in rows
+    ])
+    return f"{title}\n{table}" if title else table

@@ -206,37 +206,3 @@ def _removable_switches(setup: SimulationSetup) -> list:
         sw.name for sw in setup.fabric.switches() if sw.name != attached
     )
 
-
-def run_change_experiment(
-    spec: TopologySpec,
-    algorithm: str = PARALLEL,
-    change: str = "remove_switch",
-    seed: int = 0,
-    timing: Optional[ProcessingTimeModel] = None,
-    params: FabricParams = DEFAULT_PARAMS,
-    manager: str = "full",
-    **fm_kwargs,
-) -> ExperimentResult:
-    """Deprecated shim over :meth:`repro.experiments.scenario.Scenario.run`.
-
-    The canonical change-experiment body lives in
-    :mod:`repro.experiments.scenario` now; this wrapper builds the
-    equivalent :class:`~repro.experiments.scenario.Scenario` and runs
-    it, producing run-for-run identical results.
-    """
-    import warnings
-    warnings.warn(
-        "run_change_experiment is deprecated; build a "
-        "Scenario(kind='change', ...) and call Scenario.run() instead",
-        DeprecationWarning, stacklevel=2,
-    )
-    # Imported late: scenario.py imports this module at load time.
-    from .io import spec_to_dict
-    from .scenario import Scenario
-    return Scenario(
-        kind="change", topology=spec_to_dict(spec), algorithm=algorithm,
-        manager=manager, seed=seed, change=change,
-        timing=timing.to_dict() if timing is not None else None,
-        params=None if params is DEFAULT_PARAMS else params.to_dict(),
-        fm_options=dict(fm_kwargs) or None,
-    ).run()

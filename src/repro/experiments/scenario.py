@@ -20,8 +20,9 @@ path).  ``to_dict``/``from_dict`` round-trip losslessly and reject
 unknown keys, so an archived sweep configuration cannot silently drop
 a misspelled error-model field.
 
-The legacy entry points still work as thin shims that emit a
-:class:`DeprecationWarning` pointing here.
+The legacy shim entry points (``run_change_experiment``,
+``reliability_job``, ``churn_job``) have been removed; everything
+routes through here now.
 """
 
 from __future__ import annotations
@@ -44,7 +45,8 @@ from .runner import (
 )
 
 #: Recognised scenario kinds.
-KINDS = ("discover", "change", "reliability", "churn", "failover")
+KINDS = ("discover", "change", "reliability", "churn", "failover",
+         "load")
 
 #: Change kinds of the ``"change"`` scenario.
 CHANGE_KINDS = ("remove_switch", "add_switch")
@@ -83,8 +85,10 @@ class Scenario:
     kind:
         ``"discover"`` (one full initial discovery — Figs. 4/7/8),
         ``"change"`` (the Fig. 6/9 change-assimilation protocol),
-        ``"reliability"`` (discovery under the link error model), or
-        ``"churn"`` (mid-discovery fault soak).
+        ``"reliability"`` (discovery under the link error model),
+        ``"churn"`` (mid-discovery fault soak), ``"failover"`` (kill
+        the FM, measure takeover), or ``"load"`` (the change protocol
+        with application traffic flowing — discovery under load).
     topology:
         A Table 1 topology name or alias (``"4x4 mesh"``, ``mesh16``)
         or a :func:`~repro.experiments.io.spec_to_dict` document.
@@ -115,6 +119,12 @@ class Scenario:
         primary is resurrected afterwards (the fencing duel).  The
         ``faults``/``mean_interval`` knobs double as the pre-kill
         churn schedule.
+    traffic:
+        A :meth:`~repro.workloads.traffic.TrafficSpec.to_dict`
+        document (or a ``TrafficSpec`` instance, normalized on
+        construction) describing the application workload for
+        ``kind="load"``.  ``None`` means idle — a load scenario with
+        no traffic runs the plain change protocol bit-identically.
     fm_options:
         Extra keyword arguments for the FM constructor (ablation
         switches such as ``arrival_clears_timeout``).
@@ -138,6 +148,7 @@ class Scenario:
     heartbeat_interval: Optional[float] = None
     miss_threshold: Optional[int] = None
     restart_primary: Optional[bool] = None
+    traffic: Optional[dict] = None
     fm_options: Optional[dict] = None
 
     def __post_init__(self):
@@ -186,10 +197,18 @@ class Scenario:
             timing = timing.to_dict()
         elif timing is not None:
             ProcessingTimeModel.from_dict(timing)  # strict, like params
+        traffic = self.traffic
+        if traffic is not None:
+            from ..workloads.traffic import TrafficSpec
+            if isinstance(traffic, TrafficSpec):
+                traffic = traffic.to_dict()
+            else:
+                TrafficSpec.from_dict(traffic)  # strict, like params
         # Store every document field in JSON normal form (deep-copied,
         # tuples lowered to lists) so serialization round-trips are
         # exact and no stored container aliases caller state.
         for name, value in (("params", params), ("timing", timing),
+                            ("traffic", traffic),
                             ("topology", self.topology),
                             ("fm_options", self.fm_options)):
             if isinstance(value, dict) or value is not getattr(self, name):
@@ -213,6 +232,13 @@ class Scenario:
         if self.timing is None:
             return None
         return ProcessingTimeModel.from_dict(self.timing)
+
+    def traffic_spec(self):
+        """The embedded :class:`TrafficSpec`, or ``None`` when idle."""
+        if self.traffic is None:
+            return None
+        from ..workloads.traffic import TrafficSpec
+        return TrafficSpec.from_dict(self.traffic)
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict:
@@ -259,6 +285,7 @@ class Scenario:
             CHURN,
             FAILOVER,
             INITIAL,
+            LOAD,
             RELIABILITY,
             Job,
         )
@@ -269,6 +296,7 @@ class Scenario:
             "reliability": RELIABILITY,
             "churn": CHURN,
             "failover": FAILOVER,
+            "load": LOAD,
         }[self.kind]
         spec_doc = (
             _normalize_document(self.topology)
@@ -462,12 +490,24 @@ def _run_failover(scenario: Scenario, tracer=None):
     )
 
 
+def _run_load(scenario: Scenario, tracer=None):
+    from .load import run_load_experiment
+    return run_load_experiment(
+        scenario.spec(), algorithm=scenario.algorithm,
+        traffic=scenario.traffic_spec(), seed=scenario.seed,
+        manager=scenario.manager, timing=scenario.timing_model(),
+        params=scenario.fabric_params(), change=scenario.change,
+        tracer=tracer, fm_options=scenario.fm_options,
+    )
+
+
 _RUNNERS = {
     "discover": _run_discover,
     "change": _run_change,
     "reliability": _run_reliability,
     "churn": _run_churn,
     "failover": _run_failover,
+    "load": _run_load,
 }
 
 

@@ -158,7 +158,24 @@ def shrink_candidates(scenario: Scenario) -> Iterator[Scenario]:
                 halved[rate] = scenario.params[rate] / 2.0
                 candidates.append(attempt(params=halved))
 
-    # 4. Strip the perturbations and optional knobs.
+    # 4. Quiet the traffic plane: first kill the workload outright
+    #    (a load failure that survives with no traffic is a plain
+    #    change bug), then calm it — lighter load, steady arrivals,
+    #    uniform destinations.
+    if scenario.traffic is not None:
+        candidates.append(attempt(traffic=None))
+        calmer = dict(scenario.traffic)
+        if calmer.get("load", 0) > 0.3:
+            candidates.append(attempt(
+                traffic={**calmer, "load": 0.3}))
+        if calmer.get("arrival", "poisson") != "constant":
+            candidates.append(attempt(
+                traffic={**calmer, "arrival": "constant"}))
+        if calmer.get("pattern", "uniform") != "uniform":
+            candidates.append(attempt(
+                traffic={**calmer, "pattern": "uniform"}))
+
+    # 5. Strip the perturbations and optional knobs.
     if scenario.timing is not None:
         candidates.append(attempt(timing=None))
     if scenario.fm_options is not None:
@@ -175,7 +192,7 @@ def shrink_candidates(scenario: Scenario) -> Iterator[Scenario]:
         if getattr(scenario, knob) is not None:
             candidates.append(attempt(**{knob: None}))
 
-    # 5. Normalize the change kind and the seed.
+    # 6. Normalize the change kind and the seed.
     if scenario.change == "add_switch":
         candidates.append(attempt(change="remove_switch"))
     if scenario.seed != 0:

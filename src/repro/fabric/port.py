@@ -473,5 +473,42 @@ class Port:
             return 0
         return sum(len(vc) for vc in self._tx_vcs)
 
+    def vc_stats(self) -> list:
+        """Read-only per-VC snapshot: queue depths and credit state.
+
+        A pure read of current state — it touches no counters and
+        schedules nothing, so calling it cannot perturb a golden run.
+        Lazily-materialized state reads as empty/full (the port never
+        transmitted, so nothing is queued and no credit is spent).
+        """
+        count = self.params.vc_count
+        if self._tx_vcs is not None:
+            types = [vc.vc_type for vc in self._tx_vcs]
+        elif self.params.vc_types:
+            types = [VCType(t) for t in self.params.vc_types]
+        else:
+            types = default_vc_types(count)
+        rows = []
+        for index in range(count):
+            vc = self._tx_vcs[index] if self._tx_vcs is not None else None
+            credit = (self._credits[index]
+                      if self._credits is not None else None)
+            rows.append({
+                "vc": index,
+                "type": types[index].value,
+                "tx_queued": 0 if vc is None else len(vc),
+                "tx_bypass_queued": 0 if vc is None else len(vc.bypass),
+                "credits_available": (
+                    self._rx_cap if credit is None else credit.available
+                ),
+                "credits_capacity": (
+                    self._rx_cap if credit is None else credit.capacity
+                ),
+                "rx_units_in_use": (
+                    0 if self._rx_use is None else self._rx_use[index]
+                ),
+            })
+        return rows
+
     def __repr__(self):  # pragma: no cover - debugging aid
         return f"<Port {self.name} {'up' if self.is_up else 'down'}>"

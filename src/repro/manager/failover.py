@@ -201,6 +201,31 @@ class StandbyManager:
                 setattr(self, attr, None)
         self._unsubscribe()
 
+    def stats(self) -> dict:
+        """Monitoring counters (Workload protocol)."""
+        return {
+            "active": self.active,
+            "misses": self.misses,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_answered": self.heartbeats_answered,
+            "sync_reads": self.sync_reads,
+            "mirror_syncs": self.mirror_syncs,
+            "mirror_events": self.mirror_events,
+            "mirror_devices": len(self.mirror),
+            "primary_failed_at": self.primary_failed_at,
+        }
+
+    def describe(self) -> dict:
+        return {
+            "workload": "standby",
+            "endpoint": self.fm.endpoint.name,
+            "mode": self.mode,
+            "heartbeat_interval": self.heartbeat_interval,
+            "miss_threshold": self.miss_threshold,
+            "sync_interval": self.sync_interval,
+            "running": self._proc is not None and not self._stopping,
+        }
+
     def note_primary_failure(self, time: Optional[float] = None) -> None:
         """Record when the primary died (fault plane hook)."""
         if self.primary_failed_at is None:

@@ -27,6 +27,11 @@ Mutation verbs
                   missing and it will eventually promote itself)
 ``promote_standby``  promote the standby immediately; the feed emits a
                   ``failover`` event when the takeover completes
+``start_traffic`` start an application-traffic workload
+                  (:class:`~repro.workloads.traffic.TrafficGenerator`)
+                  from every active endpoint; params mirror
+                  :class:`~repro.workloads.traffic.TrafficSpec`
+``stop_traffic``  stop the running workload and return its final stats
 
 ``subscribe`` / ``unsubscribe`` / ``shutdown`` are connection-level and
 handled by the server, not here.
@@ -45,7 +50,9 @@ from ..obs.metrics import MetricsRegistry
 from ..topology.registry import describe_topology, topology_catalog
 
 #: Wire schema version, announced in the hello banner and ``ping``.
-SCHEMA = "repro/service/v1"
+#: v1.1 added the ``start_traffic``/``stop_traffic`` verbs and the
+#: traffic gauges in ``metrics`` (purely additive; v1 clients work).
+SCHEMA = "repro/service/v1.1"
 
 
 class ApiError(Exception):
@@ -194,6 +201,21 @@ def op_metrics(setup, driver, params) -> dict:
     if tap is not None:
         registry.gauge("service.feed_pi5").set(tap.forwarded["pi5"])
         registry.gauge("service.feed_spans").set(tap.forwarded["span"])
+    traffic = getattr(driver, "traffic", None)
+    if traffic is not None:
+        stats = traffic.stats()
+        registry.gauge(
+            "traffic.offered_load",
+            help="requested per-endpoint load fraction",
+        ).set(stats["offered_load"])
+        registry.gauge("traffic.packets_injected").set(
+            stats.get("packets_injected", 0))
+        registry.gauge("traffic.packets_delivered").set(
+            stats.get("packets_delivered", 0))
+        registry.gauge(
+            "traffic.delivered_bytes_per_s",
+            help="application goodput since the generator started",
+        ).set(stats.get("delivered_bytes_per_s", 0.0))
     return {"sim_time": setup.env.now, "metrics": registry.collect()}
 
 
@@ -333,6 +355,57 @@ def op_promote_standby(setup, driver, params) -> dict:
     }
 
 
+def op_start_traffic(setup, driver, params) -> dict:
+    traffic = getattr(driver, "traffic", None)
+    if traffic is not None and traffic.running:
+        raise ApiError(
+            "traffic-running",
+            "a traffic workload is already running (stop_traffic first)",
+        )
+    from dataclasses import fields as dc_fields
+
+    from ..workloads.traffic import TrafficGenerator, TrafficSpec
+    seed = params.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ApiError("bad-request", f"'seed' must be an integer, "
+                       f"got {seed!r}")
+    known = {f.name for f in dc_fields(TrafficSpec)}
+    spec_kwargs = {k: v for k, v in params.items() if k in known}
+    try:
+        spec = TrafficSpec(**spec_kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ApiError("bad-request", str(exc)) from None
+    if not spec.enabled:
+        raise ApiError(
+            "bad-request", "'load' must be positive to start traffic"
+        )
+    generator = TrafficGenerator(setup.fabric, spec, seed=seed)
+    generator.attach_sinks(setup.entities)
+    generator.start()
+    driver.traffic = generator
+    _mutation_event(driver, setup, "start_traffic",
+                    f"load={spec.load:g} tc={spec.tc}")
+    result = generator.describe()
+    result["sim_time"] = setup.env.now
+    return result
+
+
+def op_stop_traffic(setup, driver, params) -> dict:
+    traffic = getattr(driver, "traffic", None)
+    if traffic is None or not traffic.running:
+        raise ApiError(
+            "no-traffic", "no traffic workload is running"
+        )
+    traffic.stop()
+    _mutation_event(driver, setup, "stop_traffic",
+                    f"load={traffic.load:g}")
+    return {
+        "stopped": True,
+        "stats": traffic.stats(),
+        "sim_time": setup.env.now,
+    }
+
+
 def op_audit(setup, driver, params) -> dict:
     report = audit_topology(setup.fabric, setup.fm)
     result = report.asdict()
@@ -364,12 +437,15 @@ HANDLERS: Dict[str, Tuple[Callable, bool]] = {
     "audit": (op_audit, True),
     "kill_fm": (op_kill_fm, True),
     "promote_standby": (op_promote_standby, True),
+    "start_traffic": (op_start_traffic, True),
+    "stop_traffic": (op_stop_traffic, True),
 }
 
 #: Ops that mutate the simulation (reported apart in service stats).
 MUTATIONS = frozenset((
     "remove_device", "restore_device", "fail_link", "restore_link",
-    "rediscover", "kill_fm", "promote_standby",
+    "rediscover", "kill_fm", "promote_standby", "start_traffic",
+    "stop_traffic",
 ))
 
 

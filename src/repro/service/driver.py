@@ -95,13 +95,16 @@ class SimulationDriver:
                 and not self._stop.is_set())
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop churn, stop the loop, join the thread (idempotent)."""
+        """Stop workloads, stop the loop, join the thread (idempotent)."""
         if self._thread is None or self._stop.is_set():
             self._stop.set()
             return
-        if self.injector is not None:
+        workloads = [w for w in (self.injector,
+                                 getattr(self, "traffic", None))
+                     if w is not None]
+        for workload in workloads:
             try:
-                self.call(lambda _setup: self.injector.stop(),
+                self.call(lambda _setup, w=workload: w.stop(),
                           timeout=timeout)
             except (DriverStopped, TimeoutError):
                 pass

@@ -5,7 +5,7 @@ One :class:`FabricService` wraps one
 TCP and exchange newline-terminated JSON documents:
 
 * on connect the server sends a hello banner
-  ``{"event": "hello", "schema": "repro/service/v1", ...}``;
+  ``{"event": "hello", "schema": "repro/service/v1.1", ...}``;
 * each request line ``{"id": 7, "op": "topology", ...params}`` gets
   exactly one response line ``{"id": 7, "ok": true, "result": ...}``
   (or ``"ok": false`` with an ``error`` object — the connection

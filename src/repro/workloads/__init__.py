@@ -1,6 +1,21 @@
-"""Synthetic workloads: background traffic and fault injection."""
+"""Synthetic workloads: background traffic and fault injection.
 
+Everything here implements the :class:`Workload` lifecycle
+(``start``/``stop``/``stats``/``describe``) so harnesses can manage a
+mixed set of workloads uniformly — see :mod:`repro.workloads.base`.
+"""
+
+from .base import Workload, WorkloadSet
 from .faults import FaultEvent, FaultInjector
-from .traffic import TrafficGenerator
+from .traffic import ARRIVALS, PATTERNS, TrafficGenerator, TrafficSpec
 
-__all__ = ["FaultEvent", "FaultInjector", "TrafficGenerator"]
+__all__ = [
+    "ARRIVALS",
+    "FaultEvent",
+    "FaultInjector",
+    "PATTERNS",
+    "TrafficGenerator",
+    "TrafficSpec",
+    "Workload",
+    "WorkloadSet",
+]

@@ -1,0 +1,83 @@
+"""The common workload lifecycle contract.
+
+Every background activity that runs against a live fabric — fault
+injection, application traffic, standby monitoring — implements the
+same four-method lifecycle so harnesses and experiments can manage a
+heterogeneous set of them uniformly:
+
+* ``start()`` — begin the activity (idempotence is *not* required;
+  starting a running workload may raise);
+* ``stop()`` — cease the activity; safe to call more than once and
+  safe to call on a never-started workload;
+* ``stats()`` — a JSON-ready dict of counters and derived rates,
+  readable at any time (including after ``stop``);
+* ``describe()`` — a JSON-ready dict of static configuration, enough
+  to tell one workload from another in logs and service responses.
+
+:class:`WorkloadSet` is the trivial composite: it fans each call out
+to its members, stopping in reverse start order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything with the start/stop/stats/describe lifecycle."""
+
+    def start(self) -> None:
+        """Begin the background activity."""
+
+    def stop(self) -> None:
+        """Cease the activity; must be safe to call repeatedly."""
+
+    def stats(self) -> dict:
+        """JSON-ready counters and derived rates."""
+
+    def describe(self) -> dict:
+        """JSON-ready static configuration for logs and APIs."""
+
+
+class WorkloadSet:
+    """Manage several workloads as one.
+
+    ``start`` runs in registration order, ``stop`` in reverse, so a
+    workload that observes another (say, a standby watching a fabric
+    the injector is disturbing) is stopped before what it observes.
+    """
+
+    def __init__(self, *workloads: Workload):
+        self._workloads: List[Workload] = list(workloads)
+
+    def add(self, workload: Workload) -> Workload:
+        self._workloads.append(workload)
+        return workload
+
+    def __iter__(self):
+        return iter(self._workloads)
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def start(self) -> None:
+        for workload in self._workloads:
+            workload.start()
+
+    def stop(self) -> None:
+        for workload in reversed(self._workloads):
+            workload.stop()
+
+    def stats(self) -> Dict[str, dict]:
+        """Per-workload stats keyed by each member's workload label."""
+        return {self._label(i, w): w.stats()
+                for i, w in enumerate(self._workloads)}
+
+    def describe(self) -> Dict[str, dict]:
+        return {self._label(i, w): w.describe()
+                for i, w in enumerate(self._workloads)}
+
+    def _label(self, index: int, workload: Workload) -> str:
+        kind = workload.describe().get("workload", type(workload).__name__)
+        return f"{kind}[{index}]"

@@ -22,6 +22,11 @@ from ..sim.events import Event
 KINDS = ("remove_switch", "restore_switch", "fail_link", "restore_link",
          "kill_fm", "restart_fm")
 
+#: Default fault budget for the protocol-level ``start()``: large
+#: enough that an open-ended session never exhausts it, small enough
+#: to bound the fault log.
+DEFAULT_FAULT_BUDGET = 1_000_000
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -92,6 +97,10 @@ class FaultInjector:
         ``restart_fm`` instead joins the random fault pool while the FM
         is down, so the schedule itself decides if/when the old primary
         comes back — the dueling-managers case fencing exists for.
+    fault_budget:
+        How many faults the protocol-level :meth:`start` injects
+        before the schedule ends on its own.  :meth:`run` takes the
+        budget explicitly and ignores this.
     """
 
     def __init__(self, fabric: Fabric, mean_interval: float = 30e-3,
@@ -101,7 +110,8 @@ class FaultInjector:
                  poll_interval: Optional[float] = None,
                  max_hold: Optional[float] = None,
                  allow_fm_kill: bool = False,
-                 fm_restart_delay: Optional[float] = None):
+                 fm_restart_delay: Optional[float] = None,
+                 fault_budget: int = DEFAULT_FAULT_BUDGET):
         if mean_interval <= 0:
             raise ValueError("mean interval must be positive")
         if during_discovery and fm is None:
@@ -128,6 +138,9 @@ class FaultInjector:
             raise ValueError("poll interval must be positive")
         self.allow_fm_kill = allow_fm_kill
         self.fm_restart_delay = fm_restart_delay
+        if fault_budget < 1:
+            raise ValueError("fault budget must be at least 1")
+        self.fault_budget = fault_budget
         #: Whether the FM host is currently hot-removed by this injector.
         self.fm_down = False
         #: Called with each :class:`FaultEvent` as it lands — the
@@ -169,6 +182,15 @@ class FaultInjector:
         return expanded
 
     # -- schedule -----------------------------------------------------------
+    def start(self) -> None:
+        """:class:`~repro.workloads.base.Workload` entry point.
+
+        Equivalent to ``run(self.fault_budget)`` with the completion
+        event ignored — for callers that manage lifecycles uniformly
+        and will ``stop()`` the injector themselves.
+        """
+        self.run(self.fault_budget)
+
     def run(self, faults: int) -> Event:
         """Inject ``faults`` changes; the event triggers when done."""
         if self._proc is not None:
@@ -376,3 +398,22 @@ class FaultInjector:
         for event in self.log:
             counts[event.kind] = counts.get(event.kind, 0) + 1
         return counts
+
+    def stats(self) -> dict:
+        """Per-kind fault counts plus totals (Workload protocol)."""
+        result = dict(self.summary())
+        result["faults_injected"] = len(self.log)
+        result["mid_discovery_faults"] = self.mid_discovery_faults
+        result["fm_down"] = self.fm_down
+        return result
+
+    def describe(self) -> dict:
+        return {
+            "workload": "faults",
+            "mean_interval": self.mean_interval,
+            "protect": sorted(self.protect),
+            "during_discovery": self.during_discovery,
+            "allow_fm_kill": self.allow_fm_kill,
+            "fault_budget": self.fault_budget,
+            "running": self._proc is not None and not self._stopping,
+        }

@@ -1,4 +1,4 @@
-"""Background application traffic.
+"""The data-plane traffic engine: configurable application flows.
 
 The paper's results "have been obtained without considering application
 traffic into the network.  This traffic scarcely influences on the
@@ -6,17 +6,36 @@ discovery time.  The reason is that, in ASI, the management and
 notification packets have the higher priority when they are transmitted
 through the fabric." (section 4.1)
 
-This workload lets us *test* that claim instead of assuming it: every
-endpoint injects Poisson traffic to uniformly random endpoints at a
-configurable fraction of the link rate, on the application traffic
-class (which maps to the low-priority VC).  The discovery benches then
-compare discovery time with and without load.
+This workload lets us *test* that claim instead of assuming it.  A
+:class:`TrafficSpec` describes one fabric-wide application workload —
+offered load, packet size, traffic class, arrival process, destination
+pattern — and :class:`TrafficGenerator` realizes it as one flow process
+per active endpoint:
+
+* **arrival processes** — ``poisson`` (memoryless, the classic open
+  model), ``constant`` (a fixed inter-arrival clock), ``bursty``
+  (geometric on/off: back-to-back line-rate bursts separated by
+  exponential silences, same long-run load);
+* **destination patterns** — ``uniform`` (every packet draws a fresh
+  destination), ``permutation`` (a fixed random derangement, each
+  source hammering one partner), ``hotspot`` (a configurable fraction
+  of all traffic converges on one victim endpoint);
+* **traffic class** — the per-flow TC selects the VC through the
+  fabric's ``tc_vc_map``, so traffic either rides the low-priority VC
+  under strict-priority management (the ASI bypass arrangement) or
+  contends head-to-head with management on a mixed mapping.
+
+An offered load of 0 is a valid spec meaning "idle": the generator
+schedules nothing and draws no random numbers, so a load-0 run is
+bit-identical to one without a generator at all — the property the
+golden determinism tests pin.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple
 
 from ..fabric.fabric import Fabric
 from ..fabric.header import RouteHeader
@@ -25,43 +44,188 @@ from ..fabric.params import APPLICATION_TC
 from ..routing.paths import fabric_endpoint_routes
 from ..sim.monitor import Counter
 
+#: Supported arrival processes.
+ARRIVALS = ("poisson", "bursty", "constant")
+
+#: Supported destination patterns.
+PATTERNS = ("uniform", "permutation", "hotspot")
+
+#: Schema tag embedded in every serialized spec.
+TRAFFIC_SCHEMA = "repro/traffic/v1"
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A frozen, portable description of one application workload.
+
+    Attributes
+    ----------
+    load:
+        Offered load per source endpoint as a fraction of the link
+        rate, in ``[0, 1]``.  ``0`` disables the workload entirely (no
+        processes, no RNG draws).
+    packet_bytes:
+        Application payload size per packet.
+    tc:
+        Traffic class (0-7) stamped on every packet; the fabric's
+        ``tc_vc_map`` turns this into a VC, which is where the QoS
+        experiments bite (``APPLICATION_TC`` rides the low-priority VC
+        on the default bypass mapping).
+    arrival:
+        Arrival process: ``poisson``, ``bursty``, or ``constant``.
+    pattern:
+        Destination pattern: ``uniform``, ``permutation``, or
+        ``hotspot``.
+    burst_length:
+        Mean packets per burst for the ``bursty`` process (geometric).
+    hotspot_fraction:
+        For ``hotspot``: the probability a packet targets the hotspot
+        endpoint instead of a uniform draw.
+    """
+
+    load: float = 0.5
+    packet_bytes: int = 256
+    tc: int = APPLICATION_TC
+    arrival: str = "poisson"
+    pattern: str = "uniform"
+    burst_length: float = 8.0
+    hotspot_fraction: float = 0.5
+
+    def __post_init__(self):
+        if not 0 <= self.load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        if self.packet_bytes < 1:
+            raise ValueError("packets need at least one byte")
+        if not 0 <= self.tc <= 7:
+            raise ValueError("tc must be a traffic class in 0..7")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r} "
+                f"(expected one of {ARRIVALS})"
+            )
+        if self.pattern not in PATTERNS:
+            raise ValueError(
+                f"unknown destination pattern {self.pattern!r} "
+                f"(expected one of {PATTERNS})"
+            )
+        if self.burst_length < 1:
+            raise ValueError("mean burst length must be at least 1 packet")
+        if not 0 < self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot fraction must be in (0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec injects any traffic at all."""
+        return self.load > 0
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-ready rendering (every field, always)."""
+        document = {"schema": TRAFFIC_SCHEMA}
+        for spec_field in fields(self):
+            document[spec_field.name] = getattr(self, spec_field.name)
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "TrafficSpec":
+        """Rebuild from :meth:`to_dict` output; unknown keys raise."""
+        kwargs = dict(document)
+        schema = kwargs.pop("schema", TRAFFIC_SCHEMA)
+        if schema != TRAFFIC_SCHEMA:
+            raise ValueError(
+                f"expected schema {TRAFFIC_SCHEMA!r}, got {schema!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown TrafficSpec fields: {', '.join(unknown)}"
+            )
+        return cls(**kwargs)
+
 
 class TrafficGenerator:
-    """Poisson endpoint-to-endpoint application traffic."""
+    """Realize a :class:`TrafficSpec` as per-endpoint flow processes.
 
-    def __init__(self, fabric: Fabric, load: float = 0.5,
-                 packet_bytes: int = 256, seed: int = 0,
-                 tc: int = APPLICATION_TC):
-        if not 0 < load <= 1.0:
-            raise ValueError("load must be in (0, 1]")
-        if packet_bytes < 1:
-            raise ValueError("packets need at least one byte")
+    Implements the :class:`~repro.workloads.base.Workload` lifecycle
+    (``start``/``stop``/``stats``/``describe``).  Legacy keyword
+    construction (``TrafficGenerator(fabric, load=0.4, seed=7)``) still
+    works: any :class:`TrafficSpec` field passed as a keyword overrides
+    the given (or default) spec.
+
+    Routes come from ground truth (:func:`fabric_endpoint_routes` —
+    the turn pools a real deployment would have received from the FM),
+    so application traffic flows from time zero, while discovery is
+    still walking the fabric.
+    """
+
+    def __init__(self, fabric: Fabric, spec: Optional[TrafficSpec] = None,
+                 seed: int = 0, **overrides):
+        base = spec if spec is not None else TrafficSpec()
+        self.spec = replace(base, **overrides) if overrides else base
         self.fabric = fabric
         self.env = fabric.env
-        self.load = load
-        self.packet_bytes = packet_bytes
-        self.tc = tc
+        self.seed = seed
         self.rng = random.Random(seed)
-        self.stats = Counter()
+        self.counters = Counter()
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
         self._running = False
         self._procs = []
-        #: Per-source route tables computed from ground truth (the
-        #: paths a real deployment would have received from the FM).
+        #: Per-source route tables computed from ground truth.
         self._routes: Dict[str, Dict[str, Tuple]] = {}
+        #: pattern="permutation": fixed partner per source.
+        self._partners: Dict[str, str] = {}
+        #: pattern="hotspot": the victim endpoint.
+        self._hotspot: Optional[str] = None
+
+    # -- convenience views ---------------------------------------------------
+    @property
+    def load(self) -> float:
+        return self.spec.load
+
+    @property
+    def packet_bytes(self) -> int:
+        return self.spec.packet_bytes
+
+    @property
+    def tc(self) -> int:
+        return self.spec.tc
+
+    @property
+    def packet_time(self) -> float:
+        """Serialization time of one application packet on the wire."""
+        wire = self.spec.packet_bytes + self.fabric.params.framing_overhead \
+            + 16 + self.fabric.params.pcrc_bytes
+        return self.fabric.params.tx_time(wire)
 
     @property
     def mean_interarrival(self) -> float:
         """Mean time between packets per source at the requested load."""
-        wire = self.packet_bytes + self.fabric.params.framing_overhead + \
-            16 + self.fabric.params.pcrc_bytes
-        packet_time = self.fabric.params.tx_time(wire)
-        return packet_time / self.load
+        if not self.spec.enabled:
+            raise ValueError("idle spec (load=0) has no arrival rate")
+        return self.packet_time / self.spec.load
 
+    @property
+    def running(self) -> bool:
+        """Whether sources are currently injecting packets."""
+        return self._running
+
+    # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
-        """Begin injecting traffic from every active endpoint."""
+        """Begin injecting traffic from every active endpoint.
+
+        With ``load=0`` this is a no-op: no process is scheduled and no
+        random number is drawn, so the simulation's event stream is
+        bit-identical to a run without a generator.
+        """
         if self._running:
             raise RuntimeError("traffic generator already running")
+        if not self.spec.enabled:
+            return
         self._running = True
+        self.started_at = self.env.now
+        sources: List = []
         for endpoint in self.fabric.endpoints():
             if not endpoint.active:
                 continue
@@ -69,6 +233,9 @@ class TrafficGenerator:
             if not routes:
                 continue
             self._routes[endpoint.name] = routes
+            sources.append(endpoint)
+        self._assign_pattern([ep.name for ep in sources])
+        for endpoint in sources:
             self._procs.append(
                 self.env.process(
                     self._source(endpoint),
@@ -78,38 +245,135 @@ class TrafficGenerator:
 
     def stop(self) -> None:
         """Stop all sources (takes effect at their next arrival)."""
+        if self._running:
+            self.stopped_at = self.env.now
         self._running = False
 
+    def stats(self) -> dict:
+        """Counters plus derived offered/delivered rates."""
+        result = dict(self.counters.asdict())
+        result["offered_load"] = self.spec.load
+        until = (self.stopped_at if self.stopped_at is not None
+                 else self.env.now)
+        elapsed = (until - self.started_at
+                   if self.started_at is not None else 0.0)
+        result["elapsed"] = elapsed
+        result["delivered_bytes_per_s"] = (
+            result.get("bytes_delivered", 0) / elapsed if elapsed > 0
+            else 0.0
+        )
+        return result
+
+    def describe(self) -> dict:
+        return {
+            "workload": "traffic",
+            "spec": self.spec.to_dict(),
+            "seed": self.seed,
+            "running": self._running,
+        }
+
+    # -- pattern wiring ------------------------------------------------------
+    def _assign_pattern(self, sources: List[str]) -> None:
+        """Draw the pattern's fixed randomness once, at start time."""
+        pattern = self.spec.pattern
+        if pattern == "permutation" and len(sources) >= 2:
+            # A single random cycle over the sources: shuffle, then
+            # each sends to its successor.  No fixed points, and every
+            # endpoint receives from exactly one partner.
+            cycle = list(sources)
+            self.rng.shuffle(cycle)
+            for position, name in enumerate(cycle):
+                partner = cycle[(position + 1) % len(cycle)]
+                # Only a reachable partner is usable; fall back to a
+                # per-packet uniform draw for sources whose cycle
+                # successor has no route (partitioned fabrics).
+                if partner in self._routes.get(name, ()):
+                    self._partners[name] = partner
+        elif pattern == "hotspot" and sources:
+            self._hotspot = self.rng.choice(sorted(sources))
+
+    def _pick_destination(self, source: str, destinations) -> str:
+        pattern = self.spec.pattern
+        if pattern == "permutation":
+            partner = self._partners.get(source)
+            if partner is not None:
+                return partner
+        elif pattern == "hotspot":
+            hotspot = self._hotspot
+            if (hotspot is not None and hotspot != source
+                    and hotspot in self._routes[source]
+                    and self.rng.random() < self.spec.hotspot_fraction):
+                return hotspot
+        return self.rng.choice(destinations)
+
+    # -- arrival processes ---------------------------------------------------
+    def _gaps(self):
+        """Generator of inter-arrival gaps for one source."""
+        arrival = self.spec.arrival
+        mean = self.mean_interarrival
+        if arrival == "constant":
+            while True:
+                yield mean
+        elif arrival == "poisson":
+            expovariate = self.rng.expovariate
+            rate = 1.0 / mean
+            while True:
+                yield expovariate(rate)
+        else:  # bursty: geometric on/off with the same long-run load
+            packet_time = self.packet_time
+            burst_mean = self.spec.burst_length
+            # Mean silence balancing `burst_mean` back-to-back packets
+            # so the long-run average stays `load`.
+            off_mean = max(burst_mean * (mean - packet_time), 1e-12)
+            continue_p = 1.0 - 1.0 / burst_mean
+            while True:
+                yield self.rng.expovariate(1.0 / off_mean)
+                # The burst's remaining packets follow at line rate.
+                while self.rng.random() < continue_p:
+                    yield packet_time
+
+    # -- the flow process ----------------------------------------------------
     def _source(self, endpoint):
         routes = self._routes[endpoint.name]
         destinations = sorted(routes)
-        while self._running and endpoint.active:
-            yield self.env.timeout(
-                self.rng.expovariate(1.0 / self.mean_interarrival)
-            )
+        incr = self.counters.incr
+        packet_bytes = self.spec.packet_bytes
+        tc = self.spec.tc
+        for gap in self._gaps():
+            yield self.env.timeout(gap)
             if not self._running or not endpoint.active:
                 return
-            dst = self.rng.choice(destinations)
+            dst = self._pick_destination(endpoint.name, destinations)
             pool, out_port = routes[dst]
             header = RouteHeader(
-                pi=PI_APPLICATION, tc=self.tc,
+                pi=PI_APPLICATION, tc=tc,
                 turn_pointer=pool.bits, turn_pool=pool.pool,
             )
-            payload = bytes(self.packet_bytes)
-            endpoint.inject(Packet(header=header, payload=payload),
-                            port_index=out_port)
-            self.stats.incr("packets_injected")
-            self.stats.incr("bytes_injected", self.packet_bytes)
+            packet = Packet(header=header, payload=bytes(packet_bytes),
+                            src=endpoint.name, created_at=self.env.now)
+            endpoint.inject(packet, port_index=out_port)
+            incr("packets_injected")
+            incr("bytes_injected", packet_bytes)
 
+    # -- delivery accounting -------------------------------------------------
     def attach_sinks(self, entities) -> None:
         """Count application-packet deliveries at each endpoint.
 
         ``entities`` maps device names to their management entities;
         the sink uses the entity's zero-cost application handler slot.
+        Delivery latency is accumulated from each packet's
+        ``created_at`` stamp.
         """
-
+        incr = self.counters.incr
+        env = self.env
+        packet_bytes = self.spec.packet_bytes
+        # Latency is tallied in integer nanoseconds so the Counter
+        # stays integral (its contract) without losing resolution.
         def sink(packet, port):
-            self.stats.incr("packets_delivered")
+            incr("packets_delivered")
+            incr("bytes_delivered", packet_bytes)
+            incr("latency_ns_total",
+                 int((env.now - packet.created_at) * 1e9))
 
         for endpoint in self.fabric.endpoints():
             entity = entities.get(endpoint.name)

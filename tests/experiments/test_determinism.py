@@ -11,11 +11,9 @@ pre-optimization tree (PR 1) and pin that contract.
 import hashlib
 import json
 
-from repro.experiments.runner import (
-    build_simulation,
-    run_change_experiment,
-    run_until_ready,
-)
+from repro.experiments.runner import build_simulation, run_until_ready
+from repro.experiments.scenario import Scenario
+from repro.experiments.io import spec_to_dict
 from repro.topology import make_mesh
 
 #: sha256 over the sorted per-device + per-port stats dump of a 3x3
@@ -99,9 +97,15 @@ class TestSeededLossDeterminism:
             assert first[1] > 0, f"{algorithm}: no retries at BER>0"
 
 
+def _golden_change_result(**extra):
+    """The golden 3x3-mesh change run, via the Scenario API."""
+    return Scenario(kind="change", topology=spec_to_dict(make_mesh(3, 3)),
+                    seed=0, **extra).run()
+
+
 class TestGoldenChangeExperiment:
     def test_fixed_seed_change_experiment_bit_identical(self):
-        result = run_change_experiment(make_mesh(3, 3), seed=0)
+        result = _golden_change_result()
         info = result.asdict()
         assert info["discovery_time"] == 0.0021016489999999993
         assert (
@@ -113,3 +117,42 @@ class TestGoldenChangeExperiment:
         assert info["active_devices"] == 16
         assert info["changed_device"] == "sw_2_1"
         assert info["database_correct"] is True
+
+
+class TestGoldenLoadScenario:
+    """A ``load`` scenario at load 0 must be event-for-event identical
+    to the plain ``change`` scenario: the traffic plane draws no RNG
+    and schedules no processes when idle."""
+
+    def test_idle_load_scenario_matches_change_golden(self):
+        result = Scenario(
+            kind="load", topology=spec_to_dict(make_mesh(3, 3)), seed=0,
+        ).run()
+        assert result.discovery_time == GOLDEN_DISCOVERY_TIMES["parallel"]
+        assert result.assimilation_time == 0.0021016489999999993
+        assert result.changed_device == "sw_2_1"
+        assert result.offered_load == 0.0
+        assert result.packets_injected == 0
+        assert result.database_correct is True
+
+    def test_explicit_zero_load_spec_matches_change_golden(self):
+        from repro.workloads.traffic import TrafficSpec
+        result = Scenario(
+            kind="load", topology=spec_to_dict(make_mesh(3, 3)), seed=0,
+            traffic=TrafficSpec(load=0.0).to_dict(),
+        ).run()
+        assert result.discovery_time == GOLDEN_DISCOVERY_TIMES["parallel"]
+        assert result.assimilation_time == 0.0021016489999999993
+        assert result.changed_device == "sw_2_1"
+
+    def test_loaded_run_is_reproducible_and_correct(self):
+        from repro.workloads.traffic import TrafficSpec
+        def run():
+            return Scenario(
+                kind="load", topology=spec_to_dict(make_mesh(3, 3)),
+                seed=3, traffic=TrafficSpec(load=0.8).to_dict(),
+            ).run().asdict()
+        first, second = run(), run()
+        assert first == second
+        assert first["packets_injected"] > 0
+        assert first["database_correct"] is True

@@ -11,7 +11,8 @@ from repro.experiments.figures import (
     figure_table1,
     overhead_comparison,
 )
-from repro.experiments.runner import run_change_experiment
+from repro.experiments.io import spec_to_dict
+from repro.experiments.scenario import Scenario
 from repro.experiments.sweep import (
     measure_initial_discovery,
     sweep_change_experiments,
@@ -24,9 +25,14 @@ from repro.topology import make_mesh, table1_topology
 SMALL = [make_mesh(2, 2), make_mesh(2, 3)]
 
 
+def _change(spec, seed=0, **extra):
+    return Scenario(kind="change", topology=spec_to_dict(spec),
+                    seed=seed, **extra).run()
+
+
 class TestRunner:
     def test_change_experiment_result_fields(self):
-        result = run_change_experiment(make_mesh(3, 3), seed=3)
+        result = _change(make_mesh(3, 3), seed=3)
         d = result.asdict()
         assert d["topology"] == "3x3 mesh"
         assert d["database_correct"] is True
@@ -35,16 +41,15 @@ class TestRunner:
 
     def test_unknown_change_kind_rejected(self):
         with pytest.raises(ValueError):
-            run_change_experiment(make_mesh(2, 2), change="paint_it_red")
+            _change(make_mesh(2, 2), change="paint_it_red")
 
     def test_removal_reduces_active_devices(self):
-        result = run_change_experiment(make_mesh(3, 3),
-                                       change="remove_switch", seed=0)
+        result = _change(make_mesh(3, 3), change="remove_switch", seed=0)
         assert result.active_devices < result.total_devices
 
     def test_seeds_choose_different_victims(self):
         victims = {
-            run_change_experiment(make_mesh(3, 3), seed=s).changed_device
+            _change(make_mesh(3, 3), seed=s).changed_device
             for s in range(6)
         }
         assert len(victims) > 1

@@ -14,9 +14,14 @@ from repro.experiments.io import (
     spec_from_dict,
     spec_to_dict,
 )
-from repro.experiments.runner import run_change_experiment
+from repro.experiments.scenario import Scenario
 from repro.sim import Environment
 from repro.topology import make_fattree, make_irregular, make_mesh
+
+
+def _change(seed):
+    return Scenario(kind="change", topology=spec_to_dict(make_mesh(2, 2)),
+                    seed=seed).run()
 
 
 class TestSpecRoundtrip:
@@ -70,7 +75,7 @@ class TestSpecRoundtrip:
 class TestResultsRoundtrip:
     def test_save_and_load(self, tmp_path):
         results = [
-            run_change_experiment(make_mesh(2, 2), seed=s) for s in range(2)
+            _change(s) for s in range(2)
         ]
         path = save_results(results, tmp_path / "runs.json")
         loaded = load_results(path)
@@ -79,7 +84,7 @@ class TestResultsRoundtrip:
         assert loaded[0]["database_correct"] is True
 
     def test_family_round_trips(self, tmp_path):
-        results = [run_change_experiment(make_mesh(2, 2), seed=0)]
+        results = [_change(0)]
         path = save_results(results, tmp_path / "runs.json")
         loaded = load_results(path)
         # The Fig. 9 grouping axis must survive archiving, and the
@@ -88,7 +93,7 @@ class TestResultsRoundtrip:
         assert loaded == [r.asdict() for r in results]
 
     def test_json_is_plain_data(self, tmp_path):
-        results = [run_change_experiment(make_mesh(2, 2), seed=0)]
+        results = [_change(0)]
         doc = results_to_dict(results)
         json.dumps(doc)  # must not raise
 

@@ -1,18 +1,21 @@
 """Tests for the single-experiment runner's bookkeeping."""
 
+from repro.experiments.io import spec_to_dict
 from repro.experiments.runner import (
     MAX_SIM_TIME,
     build_simulation,
-    run_change_experiment,
     run_until_discovery_count,
 )
+from repro.experiments.scenario import Scenario
 from repro.sim.events import Timeout
 from repro.topology import make_mesh
 
 
 class TestResultDict:
     def test_asdict_includes_family(self):
-        result = run_change_experiment(make_mesh(2, 2), seed=0)
+        result = Scenario(kind="change",
+                          topology=spec_to_dict(make_mesh(2, 2)),
+                          seed=0).run()
         info = result.asdict()
         assert info["family"] == "mesh"
         assert info["topology"] == "2x2 mesh"

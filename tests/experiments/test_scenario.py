@@ -1,23 +1,14 @@
-"""Tests for the unified Scenario API and its legacy shims."""
+"""Tests for the unified Scenario API."""
 
 import dataclasses
 
 import pytest
 
-from repro.experiments.executor import (
-    CHANGE,
-    CHURN,
-    Job,
-    churn_job,
-    reliability_job,
-    run_many,
-)
-from repro.experiments.runner import run_change_experiment
+from repro.experiments.executor import CHANGE, CHURN, Job, run_many
 from repro.experiments.scenario import Scenario, run_scenario
 from repro.fabric.params import DEFAULT_PARAMS, FabricParams
 from repro.manager.timing import ProcessingTimeModel
-from repro.topology import make_mesh
-from repro.topology.table1 import table1_topology
+from repro.workloads.traffic import TrafficSpec
 
 
 def _full_scenario() -> Scenario:
@@ -148,31 +139,50 @@ class TestJobs:
         assert via_executor.results[0].asdict() == direct
 
 
-class TestLegacyShims:
-    def test_run_change_experiment_warns_and_matches_scenario(self):
-        with pytest.warns(DeprecationWarning, match="Scenario"):
-            legacy = run_change_experiment(make_mesh(3, 3), seed=0)
-        scenario = Scenario(kind="change", topology="mesh9", seed=0)
-        assert legacy.asdict() == scenario.run().asdict()
+class TestShimsRemoved:
+    """The PR 5 deprecation shims are gone; Scenario is the only API."""
 
-    def test_reliability_job_warns_and_builds_scenario_job(self):
-        params = dataclasses.replace(DEFAULT_PARAMS, bit_error_rate=1e-6)
-        with pytest.warns(DeprecationWarning, match="Scenario"):
-            job = reliability_job(table1_topology("3x3 mesh"),
-                                  "parallel", params, seed=2)
-        scenario = Scenario.from_job(job)
-        assert scenario.kind == "reliability"
-        assert scenario.seed == 2
-        assert scenario.fabric_params().bit_error_rate == 1e-6
+    def test_run_change_experiment_removed(self):
+        import repro
+        import repro.experiments
+        import repro.experiments.runner as runner
+        assert not hasattr(runner, "run_change_experiment")
+        assert not hasattr(repro.experiments, "run_change_experiment")
+        assert not hasattr(repro, "run_change_experiment")
 
-    def test_churn_job_warns_and_builds_scenario_job(self):
-        with pytest.warns(DeprecationWarning, match="Scenario"):
-            job = churn_job(table1_topology("3x3 mesh"), "parallel",
-                            seed=1, faults=2, manager="partial")
-        scenario = Scenario.from_job(job)
-        assert scenario.kind == "churn"
-        assert scenario.manager == "partial"
-        assert scenario.faults == 2
+    def test_job_shims_removed(self):
+        import repro.experiments
+        import repro.experiments.executor as executor
+        for name in ("reliability_job", "churn_job"):
+            assert not hasattr(executor, name)
+            assert not hasattr(repro.experiments, name)
+
+
+class TestTrafficField:
+    def test_traffic_spec_object_normalized_to_document(self):
+        scenario = Scenario(kind="load", traffic=TrafficSpec(load=0.4))
+        assert isinstance(scenario.traffic, dict)
+        assert scenario.traffic_spec() == TrafficSpec(load=0.4)
+
+    def test_traffic_round_trip_is_lossless(self):
+        import json
+        scenario = Scenario(
+            kind="load", topology="mesh9",
+            traffic=TrafficSpec(load=0.7, arrival="bursty",
+                                pattern="hotspot").to_dict(),
+        )
+        wire = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(wire) == scenario
+
+    def test_bad_traffic_document_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown TrafficSpec"):
+            Scenario(kind="load", traffic={"laod": 0.5})  # typo
+        with pytest.raises(ValueError, match="arrival"):
+            Scenario(kind="load", traffic={"load": 0.5,
+                                           "arrival": "psychic"})
+
+    def test_idle_scenario_has_no_traffic_spec(self):
+        assert Scenario(kind="load").traffic_spec() is None
 
 
 class TestRunScenario:

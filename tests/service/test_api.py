@@ -170,3 +170,58 @@ class TestDispatch:
         driver.stop()
         with pytest.raises(DriverStopped):
             api.call_op(driver, "status")
+
+
+class TestTrafficVerbs:
+    """v1.1 verbs, run in-process against a private simulation (these
+    mutate sim state, so the module-scoped fixture stays untouched)."""
+
+    @pytest.fixture()
+    def fresh(self):
+        setup = build_simulation(resolve_topology("mesh9"))
+        run_until_ready(setup)
+        return setup, SimulationDriver(setup)
+
+    def test_schema_is_v1_1(self, fresh):
+        setup, driver = fresh
+        assert api.SCHEMA == "repro/service/v1.1"
+        ping = api.op_ping(setup, driver, {})
+        assert ping["schema"] == "repro/service/v1.1"
+
+    def test_stop_without_start(self, fresh):
+        setup, driver = fresh
+        with pytest.raises(api.ApiError) as err:
+            api.op_stop_traffic(setup, driver, {})
+        assert err.value.code == "no-traffic"
+
+    def test_bad_specs_rejected(self, fresh):
+        setup, driver = fresh
+        for params in ({"load": 1.5}, {"load": 0.0}, {"tc": 9},
+                       {"arrival": "diurnal"}, {"seed": "zero"}):
+            with pytest.raises(api.ApiError) as err:
+                api.op_start_traffic(setup, driver, params)
+            assert err.value.code == "bad-request", params
+
+    def test_lifecycle_and_metrics(self, fresh):
+        setup, driver = fresh
+        started = _json_roundtrip(api.op_start_traffic(
+            setup, driver,
+            {"load": 0.4, "packet_bytes": 128, "seed": 2, "id": 1},
+        ))
+        assert started["running"] is True
+        assert started["spec"]["load"] == 0.4
+        with pytest.raises(api.ApiError) as err:
+            api.op_start_traffic(setup, driver, {"load": 0.2})
+        assert err.value.code == "traffic-running"
+        # Advance the (single-threaded, unstarted-driver) sim directly.
+        setup.env.run(until=setup.env.now + 5e-4)
+        metrics = _json_roundtrip(
+            api.op_metrics(setup, driver, {}))["metrics"]
+        assert metrics["traffic.offered_load"]["value"] == 0.4
+        assert metrics["traffic.packets_injected"]["value"] > 0
+        stopped = _json_roundtrip(api.op_stop_traffic(setup, driver, {}))
+        assert stopped["stopped"] is True
+        assert stopped["stats"]["packets_injected"] > 0
+        # A stopped workload can be replaced by a new one.
+        again = api.op_start_traffic(setup, driver, {"load": 0.1})
+        assert again["running"] is True
